@@ -1,0 +1,35 @@
+// Shared table printer for the application-performance figures (5-8).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/apl.hpp"
+
+namespace pdc::bench {
+
+/// Print one paper figure: the four applications on `platform`, execution
+/// time vs processor count for each tool.
+inline void print_apl_figure(const char* title, host::PlatformId platform,
+                             const std::vector<int>& procs,
+                             const std::vector<mp::ToolKind>& tools) {
+  std::printf("%s\n", title);
+  for (eval::AppKind app : eval::all_apps()) {
+    std::printf("\n%s on %s (seconds)\n", eval::to_string(app), host::to_string(platform));
+    std::printf("%6s", "procs");
+    for (auto t : tools) std::printf(" %10s", mp::to_string(t));
+    std::printf("\n");
+    for (int p : procs) {
+      // The paper's 2D-FFT codes require the processor count to divide the
+      // problem dimension; skip non-divisors as the paper's plots do.
+      if (app == eval::AppKind::Fft2d && (p & (p - 1)) != 0) continue;
+      std::printf("%6d", p);
+      for (auto t : tools) {
+        std::printf(" %10.4f", eval::app_time_s(platform, t, app, p));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace pdc::bench

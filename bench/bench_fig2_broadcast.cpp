@@ -1,0 +1,33 @@
+// Regenerates paper Figure 2: broadcast timing among 4 SUN workstations
+// over Ethernet (PVM, p4, Express) and over the ATM WAN / NYNET (PVM, p4 --
+// the paper does not plot Express on ATM).
+#include <cstdio>
+
+#include "eval/tpl.hpp"
+
+int main() {
+  using namespace pdc;
+  using host::PlatformId;
+  using mp::ToolKind;
+  constexpr int kProcs = 4;
+
+  std::printf("Figure 2: broadcast timing using %d SUNs (milliseconds)\n\n", kProcs);
+  std::printf("%8s |%28s |%19s\n", "", "Ethernet", "ATM WAN (NYNET)");
+  std::printf("%8s |%9s %9s %8s |%9s %9s\n", "KB", "PVM", "p4", "Express", "PVM", "p4");
+  std::printf("---------+-----------------------------+--------------------\n");
+  for (std::int64_t bytes : eval::paper_message_sizes()) {
+    std::printf("%8lld |", static_cast<long long>(bytes) / 1024);
+    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4, ToolKind::Express}) {
+      std::printf(" %9.2f", eval::broadcast_ms(PlatformId::SunEthernet, t, kProcs, bytes));
+    }
+    std::printf(" |");
+    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4}) {
+      std::printf(" %9.2f", eval::broadcast_ms(PlatformId::SunAtmWan, t, kProcs, bytes));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape (paper): p4 best, Express worst on Ethernet; the\n"
+              "snd/rcv winner is not automatically the broadcast winner -- the\n"
+              "broadcast algorithm (binomial tree vs sequential) dominates.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Regenerates paper Figure 4: global vector summation on 4 SUNs -- p4 and
+// Express over Ethernet, p4 over the NYNET ATM WAN. PVM is absent: it has
+// no global operation (paper Section 3.2.4).
+#include <cstdio>
+
+#include "eval/tpl.hpp"
+
+int main() {
+  using namespace pdc;
+  using host::PlatformId;
+  using mp::ToolKind;
+  constexpr int kProcs = 4;
+
+  std::printf("Figure 4: global vector sum using %d SUNs (milliseconds)\n\n", kProcs);
+  std::printf("%10s |%10s %10s %10s %10s\n", "# ints", "p4/Eth", "Expr/Eth", "p4/NYNET",
+              "PVM");
+  std::printf("-----------+-------------------------------------------\n");
+  for (std::int64_t n : {0LL, 10000LL, 20000LL, 40000LL, 60000LL, 80000LL, 100000LL}) {
+    const auto p4_eth = eval::global_sum_ms(PlatformId::SunEthernet, ToolKind::P4, kProcs, n);
+    const auto ex_eth =
+        eval::global_sum_ms(PlatformId::SunEthernet, ToolKind::Express, kProcs, n);
+    const auto p4_wan = eval::global_sum_ms(PlatformId::SunAtmWan, ToolKind::P4, kProcs, n);
+    const auto pvm = eval::global_sum_ms(PlatformId::SunEthernet, ToolKind::Pvm, kProcs, n);
+    std::printf("%10lld |%10.2f %10.2f %10.2f %10s\n", static_cast<long long>(n), *p4_eth,
+                *ex_eth, *p4_wan, pvm ? "?" : "n/a");
+  }
+  std::printf("\nExpected shape (paper): p4 beats Express; ATM WAN far below Ethernet\n"
+              "for large vectors; PVM not evaluable (no global operation).\n");
+  return 0;
+}

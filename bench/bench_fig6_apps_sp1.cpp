@@ -1,0 +1,14 @@
+// Regenerates paper Figure 6: the four applications on the IBM SP-1 with
+// the Allnode crossbar switch, 1-8 processors, Express / p4 / PVM.
+//
+// Expected shape (paper): consistent with the Alpha results, but with
+// uniformly higher execution times (slower nodes).
+#include "apl_table.hpp"
+
+int main() {
+  pdc::bench::print_apl_figure(
+      "Figure 6: Application performances on IBM-SP1 (crossbar switch)",
+      pdc::host::PlatformId::Sp1Switch, {1, 2, 3, 4, 5, 6, 7, 8},
+      {pdc::mp::ToolKind::Express, pdc::mp::ToolKind::P4, pdc::mp::ToolKind::Pvm});
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Regenerates paper Figure 7: the four applications on SUN SPARCstations
+// over the NYNET ATM WAN, 1-4 processors, p4 and PVM (as in the paper).
+//
+// Expected shape (paper): distributed computing across a WAN is feasible --
+// the curves resemble (and for large transfers beat) the Ethernet LAN.
+#include "apl_table.hpp"
+
+int main() {
+  pdc::bench::print_apl_figure(
+      "Figure 7: Application performances on SUN/ATM-WAN (NYNET)",
+      pdc::host::PlatformId::SunAtmWan, {1, 2, 3, 4},
+      {pdc::mp::ToolKind::P4, pdc::mp::ToolKind::Pvm});
+  return 0;
+}

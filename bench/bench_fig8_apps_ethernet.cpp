@@ -1,0 +1,11 @@
+// Regenerates paper Figure 8: the four applications on SUN SPARCstations
+// over shared 10 Mb/s Ethernet, 1-8 processors, Express / p4 / PVM.
+#include "apl_table.hpp"
+
+int main() {
+  pdc::bench::print_apl_figure(
+      "Figure 8: Application performances on SUN/Ethernet",
+      pdc::host::PlatformId::SunEthernet, {1, 2, 3, 4, 5, 6, 7, 8},
+      {pdc::mp::ToolKind::Express, pdc::mp::ToolKind::P4, pdc::mp::ToolKind::Pvm});
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Wall-clock performance of the simulator itself (google-benchmark), plus
+// the two ablations DESIGN.md calls out: coroutine scheduling overhead and
+// the cost of contention modelling.
+#include <benchmark/benchmark.h>
+
+#include "eval/tpl.hpp"
+#include "mp/api.hpp"
+#include "mp/pack.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace pdc;
+
+// Raw event throughput: how many scheduled events/second the kernel runs.
+void BM_EventLoop(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation simu;
+    int counter = 0;
+    for (int i = 0; i < events; ++i) {
+      simu.schedule_at(sim::TimePoint{i}, [&counter] { ++counter; });
+    }
+    simu.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
+
+// Coroutine ablation: ping-pong between two processes through a mailbox --
+// measures suspend/resume + matching overhead per message.
+void BM_CoroutinePingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation simu;
+    sim::Mailbox<int> a(simu), b(simu);
+    auto ping = [](sim::Mailbox<int>& in, sim::Mailbox<int>& out, int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        out.push(i);
+        (void)co_await in.recv();
+      }
+    };
+    auto pong = [](sim::Mailbox<int>& in, sim::Mailbox<int>& out, int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        const int v = co_await in.recv();
+        out.push(v);
+      }
+    };
+    simu.spawn(ping(a, b, rounds));
+    simu.spawn(pong(b, a, rounds));
+    simu.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_CoroutinePingPong)->Arg(1000)->Arg(10000);
+
+// Full-stack message rate: simulated 1 KB messages through a tool runtime.
+void BM_ToolMessageThroughput(benchmark::State& state) {
+  const auto tool = static_cast<mp::ToolKind>(state.range(0));
+  for (auto _ : state) {
+    auto program = [](mp::Communicator& c) -> sim::Task<void> {
+      constexpr int kN = 200;
+      if (c.rank() == 0) {
+        for (int i = 0; i < kN; ++i) {
+          co_await c.send(1, 7, mp::make_payload(mp::Bytes(1024)));
+        }
+      } else {
+        for (int i = 0; i < kN; ++i) (void)co_await c.recv(0, 7);
+      }
+    };
+    auto out = mp::run_spmd(host::PlatformId::AlphaFddi, 2, tool, program);
+    benchmark::DoNotOptimize(out.messages);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ToolMessageThroughput)
+    ->Arg(static_cast<int>(mp::ToolKind::P4))
+    ->Arg(static_cast<int>(mp::ToolKind::Pvm))
+    ->Arg(static_cast<int>(mp::ToolKind::Express));
+
+// End-to-end cost of regenerating one Table 3 cell.
+void BM_Table3Cell(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::sendrecv_ms(host::PlatformId::SunEthernet, mp::ToolKind::Pvm, 65536));
+  }
+}
+BENCHMARK(BM_Table3Cell);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Regenerates paper Table 3: snd/recv round-trip times on SUN SPARCstations
+// over Ethernet, ATM LAN and ATM WAN, for PVM, p4 and Express, message
+// sizes 0..64 KB. Prints measured (simulated) values side by side with the
+// paper's published numbers.
+#include <cstdio>
+
+#include "eval/paper_data.hpp"
+#include "eval/tpl.hpp"
+
+int main() {
+  using namespace pdc;
+  using host::PlatformId;
+  using mp::ToolKind;
+
+  std::printf("Table 3: snd/recv timing for SUN SPARCstations (milliseconds)\n");
+  std::printf("sim = this reproduction, paper = Hariri et al. 1995\n\n");
+  std::printf("%8s |%25s |%25s |%25s\n", "", "PVM", "p4", "Express");
+  std::printf("%8s |%8s %8s %7s |%8s %8s %7s |%8s %8s %7s\n", "KB", "Eth", "ATM-LAN",
+              "ATM-WAN", "Eth", "ATM-LAN", "ATM-WAN", "Eth", "ATM-LAN", "ATM-WAN");
+  std::printf("---------+--------------------------+--------------------------+"
+              "--------------------------\n");
+
+  for (std::int64_t bytes : eval::paper_message_sizes()) {
+    std::printf("%8lld |", static_cast<long long>(bytes) / 1024);
+    for (ToolKind tool : {ToolKind::Pvm, ToolKind::P4, ToolKind::Express}) {
+      for (PlatformId p :
+           {PlatformId::SunEthernet, PlatformId::SunAtmLan, PlatformId::SunAtmWan}) {
+        if (tool == ToolKind::Express && p == PlatformId::SunAtmWan) {
+          std::printf(" %7s", "-");  // not measured in the paper
+        } else {
+          std::printf(" %8.2f", eval::sendrecv_ms(p, tool, bytes));
+        }
+      }
+      std::printf(" |");
+    }
+    std::printf("\n  paper: |");
+    for (ToolKind tool : {ToolKind::Pvm, ToolKind::P4, ToolKind::Express}) {
+      for (PlatformId p :
+           {PlatformId::SunEthernet, PlatformId::SunAtmLan, PlatformId::SunAtmWan}) {
+        auto v = eval::paper::table3_ms(tool, p, bytes);
+        if (v) {
+          std::printf(" %8.2f", *v);
+        } else {
+          std::printf(" %7s", "-");
+        }
+      }
+      std::printf(" |");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: p4 fastest everywhere; Express beats PVM at <=1KB,\n"
+              "PVM beats Express at >=2KB; ATM-WAN ~= ATM-LAN plus a small constant.\n");
+  return 0;
+}

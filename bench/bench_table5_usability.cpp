@@ -1,0 +1,60 @@
+// Regenerates the paper's usability assessment (Section 3.3.1 table) and
+// Table 1 (primitive-to-native-call mapping), then demonstrates the weight-
+// factor mechanism: the same ratings aggregated under three audience
+// profiles.
+#include <cstdio>
+
+#include "eval/criteria.hpp"
+
+int main() {
+  using namespace pdc::eval;
+  using pdc::mp::ToolKind;
+
+  std::printf("Table 1: Communication primitives for evaluating tools at TPL\n\n");
+  std::printf("%-22s %-22s %-22s %-22s\n", "Primitive", "Express", "p4", "PVM");
+  for (Primitive p : all_primitives()) {
+    std::printf("%-22s %-22s %-22s %-22s\n", to_string(p),
+                native_call(ToolKind::Express, p).c_str(),
+                native_call(ToolKind::P4, p).c_str(),
+                native_call(ToolKind::Pvm, p).c_str());
+  }
+
+  std::printf("\nSection 3.3.1: usability criteria assessment (WS/PS/NS)\n\n");
+  std::printf("%-34s %-8s %-8s %-8s\n", "Criterion", "P4", "PVM", "Express");
+  for (Criterion c : all_criteria()) {
+    std::printf("%-34s %-8s %-8s %-8s\n", to_string(c),
+                to_string(adl_rating(ToolKind::P4, c)),
+                to_string(adl_rating(ToolKind::Pvm, c)),
+                to_string(adl_rating(ToolKind::Express, c)));
+  }
+
+  std::printf("\nWeighted ADL scores (WS=1.0, PS=0.5, NS=0.0):\n\n");
+  struct Profile {
+    const char* name;
+    AdlWeights weights;
+  };
+  AdlWeights novice = AdlWeights::uniform();  // beginner: ease + debugging matter most
+  for (auto& [c, w] : novice.weights) {
+    if (c == Criterion::EaseOfProgramming || c == Criterion::DebuggingSupport) w = 3.0;
+  }
+  AdlWeights integrator = AdlWeights::uniform();  // production: integration + runtime
+  for (auto& [c, w] : integrator.weights) {
+    if (c == Criterion::Integration || c == Criterion::RunTimeInterface ||
+        c == Criterion::ErrorHandling) {
+      w = 3.0;
+    }
+  }
+  const Profile profiles[] = {{"uniform weights", AdlWeights::uniform()},
+                              {"novice developer", novice},
+                              {"systems integrator", integrator}};
+  std::printf("%-22s %-8s %-8s %-8s\n", "Profile", "P4", "PVM", "Express");
+  for (const auto& prof : profiles) {
+    std::printf("%-22s %-8.3f %-8.3f %-8.3f\n", prof.name,
+                adl_score(ToolKind::P4, prof.weights),
+                adl_score(ToolKind::Pvm, prof.weights),
+                adl_score(ToolKind::Express, prof.weights));
+  }
+  std::printf("\nNote how the ranking shifts with the audience -- the paper's central\n");
+  std::printf("argument for weight factors over a single fixed criterion.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// pdceval quickstart: write one message-passing program, run it unchanged
+// under all three 1995 tools on two platforms, and read the simulated
+// clock.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "mp/api.hpp"
+#include "mp/pack.hpp"
+
+using namespace pdc;
+
+namespace {
+
+// A tiny SPMD program: every rank contributes its rank-stamped vector to
+// rank 0, which replies with the element-wise totals.
+sim::Task<void> gather_and_reply(mp::Communicator& comm) {
+  constexpr int kTagUp = 1, kTagDown = 2;
+  std::vector<std::int32_t> mine(1024, comm.rank() + 1);
+
+  if (comm.rank() == 0) {
+    std::vector<std::int32_t> totals = mine;
+    for (int r = 1; r < comm.size(); ++r) {
+      mp::Message m = co_await comm.recv(mp::kAnySource, kTagUp);
+      const auto v = mp::unpack_vector<std::int32_t>(*m.data);
+      for (std::size_t i = 0; i < totals.size(); ++i) totals[i] += v[i];
+    }
+    mp::Bytes reply = *mp::pack_vector(totals);
+    co_await comm.broadcast(0, reply, kTagDown);
+  } else {
+    co_await comm.send(0, kTagUp, mp::pack_vector(mine));
+    mp::Bytes reply;
+    co_await comm.broadcast(0, reply, kTagDown);
+    const auto totals = mp::unpack_vector<std::int32_t>(reply);
+    // Every rank now holds sum(1..P) in each slot.
+    (void)totals;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("pdceval quickstart: one program, three tools, two platforms\n\n");
+  std::printf("%-22s %-10s %10s %10s %12s\n", "platform", "tool", "time(ms)", "messages",
+              "bytes moved");
+  for (auto platform : {host::PlatformId::SunEthernet, host::PlatformId::AlphaFddi}) {
+    for (auto tool : mp::all_tools()) {
+      const auto out = mp::run_spmd(platform, 4, tool, gather_and_reply);
+      std::printf("%-22s %-10s %10.3f %10llu %12llu\n", host::to_string(platform),
+                  mp::to_string(tool), out.elapsed.millis(),
+                  static_cast<unsigned long long>(out.messages),
+                  static_cast<unsigned long long>(out.payload_bytes));
+    }
+  }
+  std::printf("\nSame program, same data -- the differences are the tools'\n"
+              "architectures: daemon routing, packetisation, collective algorithms.\n");
+  return 0;
+}

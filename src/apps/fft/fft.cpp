@@ -1,0 +1,101 @@
+#include "apps/fft/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace pdc::apps::fft {
+
+void fft1d(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft1d: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+Matrix make_test_signal(int n, std::uint64_t seed) {
+  if (n <= 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("make_test_signal: n must be a power of two");
+  }
+  Matrix m{n, std::vector<Complex>(static_cast<std::size_t>(n) * static_cast<std::size_t>(n))};
+  sim::Rng rng(seed);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      // A few coherent tones plus noise: realistic video-ish spectrum.
+      const double v = std::sin(0.2 * r) + 0.5 * std::cos(0.31 * c) +
+                       0.25 * std::sin(0.07 * (r + 2 * c)) +
+                       0.1 * (rng.next_double() - 0.5);
+      m.at(r, c) = Complex(v, 0.0);
+    }
+  }
+  return m;
+}
+
+Matrix fft2d_serial(Matrix m, bool inverse) {
+  const int n = m.n;
+  // Rows.
+  for (int r = 0; r < n; ++r) {
+    fft1d(std::span<Complex>(m.data.data() + static_cast<std::size_t>(r) *
+                                                 static_cast<std::size_t>(n),
+                             static_cast<std::size_t>(n)),
+          inverse);
+  }
+  // Columns, via transpose / rows / transpose.
+  Matrix t{n, std::vector<Complex>(m.data.size())};
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.at(c, r) = m.at(r, c);
+  }
+  for (int r = 0; r < n; ++r) {
+    fft1d(std::span<Complex>(t.data.data() + static_cast<std::size_t>(r) *
+                                                 static_cast<std::size_t>(n),
+                             static_cast<std::size_t>(n)),
+          inverse);
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) m.at(c, r) = t.at(r, c);
+  }
+  return m;
+}
+
+double fft_flops(int n) {
+  return 2.0 * 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.n != b.n) throw std::invalid_argument("max_abs_diff: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    worst = std::max(worst, std::abs(a.data[i] - b.data[i]));
+  }
+  return worst;
+}
+
+}  // namespace pdc::apps::fft

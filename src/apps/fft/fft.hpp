@@ -1,0 +1,50 @@
+// pdceval -- 2D Fast Fourier Transform (SU PDABS, paper Section 3.3, app 2).
+//
+// Real radix-2 Cooley-Tukey over std::complex<double>; the 2D transform is
+// row FFTs, transpose, row FFTs (= column FFTs), transpose back. The
+// parallel version distributes row blocks and performs the transposes as
+// all-to-all block exchanges -- "a distributed 2D-FFT involves transfer of
+// large amounts of data between processors" (paper).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdc::apps::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 FFT; size must be a power of two.
+void fft1d(std::span<Complex> data, bool inverse = false);
+
+/// Row-major N x N matrix helpers.
+struct Matrix {
+  int n{0};
+  std::vector<Complex> data;
+
+  [[nodiscard]] Complex& at(int row, int col) {
+    return data[static_cast<std::size_t>(row) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] const Complex& at(int row, int col) const {
+    return data[static_cast<std::size_t>(row) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(col)];
+  }
+};
+
+/// Deterministic test signal ("a screen of video data", seeded).
+[[nodiscard]] Matrix make_test_signal(int n, std::uint64_t seed);
+
+/// Serial reference 2D FFT.
+[[nodiscard]] Matrix fft2d_serial(Matrix m, bool inverse = false);
+
+/// Modelled flop cost of one length-n FFT: 5 n log2 n, doubled for the
+/// array-index and twiddle bookkeeping of unoptimised 1995 C.
+[[nodiscard]] double fft_flops(int n);
+
+/// Largest L2 distance between two matrices (test helper).
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace pdc::apps::fft

@@ -1,0 +1,124 @@
+#include "apps/fft/parallel.hpp"
+
+#include <stdexcept>
+
+#include "mp/pack.hpp"
+
+namespace pdc::apps::fft {
+
+namespace {
+
+constexpr int kTagTranspose1 = 201;
+constexpr int kTagTranspose2 = 202;
+constexpr int kTagGather = 203;
+
+/// Local slab: `rows` contiguous rows of the global matrix.
+struct Slab {
+  int n;
+  int rows;
+  std::vector<Complex> data;
+
+  [[nodiscard]] Complex& at(int r, int c) {
+    return data[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(c)];
+  }
+};
+
+/// All-to-all block transpose: after this, my slab holds (transposed)
+/// columns [rank*rows, (rank+1)*rows) of the pre-transpose matrix.
+sim::Task<void> transpose(mp::Communicator& comm, Slab& slab, int tag) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+  const int rows = slab.rows;
+
+  // Pack the block destined for each peer: my rows x their columns,
+  // stored transposed so the receiver can splice rows directly.
+  std::vector<mp::Payload> blocks(static_cast<std::size_t>(procs));
+  for (int dst = 0; dst < procs; ++dst) {
+    std::vector<Complex> block(static_cast<std::size_t>(rows) *
+                               static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < rows; ++c) {
+        // transposed: block[(c, r)] = slab[(r, dst*rows + c)]
+        block[static_cast<std::size_t>(c) * static_cast<std::size_t>(rows) +
+              static_cast<std::size_t>(r)] = slab.at(r, dst * rows + c);
+      }
+    }
+    blocks[static_cast<std::size_t>(dst)] = mp::pack_vector(block);
+  }
+  co_await comm.compute_copy(static_cast<std::int64_t>(slab.data.size() * sizeof(Complex)));
+
+  // Exchange: keep my own diagonal block, send the rest.
+  for (int dst = 0; dst < procs; ++dst) {
+    if (dst == rank) continue;
+    co_await comm.send(dst, tag, blocks[static_cast<std::size_t>(dst)]);
+  }
+  // Splice the diagonal block.
+  auto splice = [&slab, rows](int src, const std::vector<Complex>& block) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < rows; ++c) {
+        slab.at(r, src * rows + c) =
+            block[static_cast<std::size_t>(r) * static_cast<std::size_t>(rows) +
+                  static_cast<std::size_t>(c)];
+      }
+    }
+  };
+  splice(rank, mp::unpack_vector<Complex>(*blocks[static_cast<std::size_t>(rank)]));
+  for (int i = 1; i < procs; ++i) {
+    mp::Message m = co_await comm.recv(mp::kAnySource, tag);
+    splice(m.src, mp::unpack_vector<Complex>(*m.data));
+  }
+}
+
+}  // namespace
+
+sim::Task<void> fft2d_distributed(mp::Communicator& comm, int n, std::uint64_t seed,
+                                  Matrix* result, bool gather) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+  if (n % procs != 0) throw std::invalid_argument("fft2d_distributed: procs must divide n");
+  const int rows = n / procs;
+
+  // Each rank generates its own rows of the (deterministic) input.
+  const Matrix full = make_test_signal(n, seed);
+  Slab slab{n, rows, {}};
+  slab.data.assign(full.data.begin() + static_cast<std::ptrdiff_t>(rank) * rows * n,
+                   full.data.begin() + static_cast<std::ptrdiff_t>(rank + 1) * rows * n);
+
+  auto fft_local_rows = [&]() -> sim::Task<void> {
+    co_await comm.compute_flops(static_cast<double>(slab.rows) * fft_flops(n));
+    for (int r = 0; r < slab.rows; ++r) {
+      fft1d(std::span<Complex>(slab.data.data() + static_cast<std::size_t>(r) *
+                                                      static_cast<std::size_t>(n),
+                               static_cast<std::size_t>(n)));
+    }
+  };
+
+  co_await fft_local_rows();                       // row FFTs
+  co_await transpose(comm, slab, kTagTranspose1);  // columns become rows
+  co_await fft_local_rows();                       // column FFTs
+  co_await transpose(comm, slab, kTagTranspose2);  // restore natural layout
+
+  // Gather to rank 0 for verification/output.
+  if (!gather) co_return;
+  if (rank == 0) {
+    if (result != nullptr) {
+      result->n = n;
+      result->data.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                          Complex{});
+      std::copy(slab.data.begin(), slab.data.end(), result->data.begin());
+      for (int r = 1; r < procs; ++r) {
+        mp::Message m = co_await comm.recv(mp::kAnySource, kTagGather);
+        auto part = mp::unpack_vector<Complex>(*m.data);
+        std::copy(part.begin(), part.end(),
+                  result->data.begin() + static_cast<std::ptrdiff_t>(m.src) * rows * n);
+      }
+    } else {
+      for (int r = 1; r < procs; ++r) (void)co_await comm.recv(mp::kAnySource, kTagGather);
+    }
+  } else {
+    co_await comm.send(0, kTagGather, mp::pack_vector(slab.data));
+  }
+}
+
+}  // namespace pdc::apps::fft

@@ -1,0 +1,19 @@
+// pdceval -- SPMD distributed 2D FFT.
+#pragma once
+
+#include "apps/fft/fft.hpp"
+#include "mp/communicator.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::apps::fft {
+
+/// Distributed 2D FFT of the deterministic test signal `make_test_signal(n,
+/// seed)`: each rank owns n/size() contiguous rows (size() must divide n),
+/// performs row FFTs, all-to-all transpose, row FFTs, transpose back.
+/// With `gather` true, rank 0's `*result` receives the full transformed
+/// matrix, equal to fft2d_serial() of the same signal; production runs (and
+/// the paper's) leave the result distributed (`gather` false).
+sim::Task<void> fft2d_distributed(mp::Communicator& comm, int n, std::uint64_t seed,
+                                  Matrix* result, bool gather = true);
+
+}  // namespace pdc::apps::fft

@@ -1,0 +1,214 @@
+#include "apps/jpeg/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace pdc::apps::jpeg {
+
+namespace {
+
+// Standard JPEG Annex K luminance quantisation table.
+constexpr int kBaseQuant[kBlock * kBlock] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+// Zigzag scan order for an 8x8 block.
+constexpr int kZigzag[kBlock * kBlock] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+constexpr std::int16_t kEndOfBlock = std::int16_t{-32768};
+
+double dct_cos(int x, int u) {
+  return std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+}
+
+double alpha(int u) { return u == 0 ? 1.0 / std::numbers::sqrt2 : 1.0; }
+
+}  // namespace
+
+Image make_test_image(int width, int height, std::uint64_t seed) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("make_test_image: bad size");
+  Image img{width, height, std::vector<std::uint8_t>(
+                               static_cast<std::size_t>(width) * static_cast<std::size_t>(height))};
+  sim::Rng rng(seed);
+  // Smooth background + low-frequency blobs + a few hard edges + noise:
+  // compresses like a photograph rather than like random bytes.
+  const double cx = width * 0.4, cy = height * 0.6;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double v = 96.0 + 48.0 * std::sin(x * 0.021) * std::cos(y * 0.017);
+      const double d = std::hypot(x - cx, y - cy);
+      v += 64.0 * std::exp(-d * d / (0.02 * width * width));
+      if ((x / 32 + y / 32) % 7 == 0) v += 40.0;  // blocky structure
+      v += (rng.next_double() - 0.5) * 12.0;      // sensor noise
+      img.pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)] =
+          static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+void forward_dct(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  for (int u = 0; u < kBlock; ++u) {
+    for (int v = 0; v < kBlock; ++v) {
+      double sum = 0.0;
+      for (int x = 0; x < kBlock; ++x) {
+        for (int y = 0; y < kBlock; ++y) {
+          sum += in[x][y] * dct_cos(x, u) * dct_cos(y, v);
+        }
+      }
+      out[u][v] = 0.25 * alpha(u) * alpha(v) * sum;
+    }
+  }
+}
+
+void inverse_dct(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  for (int x = 0; x < kBlock; ++x) {
+    for (int y = 0; y < kBlock; ++y) {
+      double sum = 0.0;
+      for (int u = 0; u < kBlock; ++u) {
+        for (int v = 0; v < kBlock; ++v) {
+          sum += alpha(u) * alpha(v) * in[u][v] * dct_cos(x, u) * dct_cos(y, v);
+        }
+      }
+      out[x][y] = 0.25 * sum;
+    }
+  }
+}
+
+std::array<int, kBlock * kBlock> quant_table(int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, kBlock * kBlock> q{};
+  for (int i = 0; i < kBlock * kBlock; ++i) {
+    q[static_cast<std::size_t>(i)] = std::clamp((kBaseQuant[i] * scale + 50) / 100, 1, 255);
+  }
+  return q;
+}
+
+namespace {
+
+void encode_block(const Image& img, int bx, int by, const std::array<int, 64>& q,
+                  std::vector<std::int16_t>& out) {
+  double block[kBlock][kBlock];
+  double coeffs[kBlock][kBlock];
+  for (int x = 0; x < kBlock; ++x) {
+    for (int y = 0; y < kBlock; ++y) {
+      block[x][y] = static_cast<double>(img.at(bx + y, by + x)) - 128.0;
+    }
+  }
+  forward_dct(block, coeffs);
+  // Zigzag + quantise + RLE: (zero-run, value) pairs, EOB sentinel.
+  std::int16_t run = 0;
+  for (int i = 0; i < kBlock * kBlock; ++i) {
+    const int idx = kZigzag[i];
+    const double c = coeffs[idx / kBlock][idx % kBlock];
+    const auto quantised = static_cast<std::int16_t>(
+        std::lround(c / q[static_cast<std::size_t>(kZigzag[i])]));
+    if (quantised == 0) {
+      ++run;
+      continue;
+    }
+    out.push_back(run);
+    out.push_back(quantised);
+    run = 0;
+  }
+  out.push_back(kEndOfBlock);
+}
+
+}  // namespace
+
+std::vector<std::int16_t> compress_rows(const Image& img, int row_begin, int row_end,
+                                        int quality) {
+  if (img.width % kBlock != 0 || img.height % kBlock != 0) {
+    throw std::invalid_argument("compress: image dimensions must be multiples of 8");
+  }
+  if (row_begin % kBlock != 0 || row_end % kBlock != 0 || row_begin < 0 ||
+      row_end > img.height || row_begin > row_end) {
+    throw std::invalid_argument("compress_rows: row range must align to 8-row strips");
+  }
+  const auto q = quant_table(quality);
+  std::vector<std::int16_t> out;
+  out.reserve(static_cast<std::size_t>((row_end - row_begin)) *
+              static_cast<std::size_t>(img.width) / 8);
+  for (int by = row_begin; by < row_end; by += kBlock) {
+    for (int bx = 0; bx < img.width; bx += kBlock) {
+      encode_block(img, bx, by, q, out);
+    }
+  }
+  return out;
+}
+
+std::vector<std::int16_t> compress(const Image& img, int quality) {
+  return compress_rows(img, 0, img.height, quality);
+}
+
+Image decompress(std::span<const std::int16_t> stream, int width, int height, int quality) {
+  if (width % kBlock != 0 || height % kBlock != 0) {
+    throw std::invalid_argument("decompress: bad dimensions");
+  }
+  const auto q = quant_table(quality);
+  Image img{width, height,
+            std::vector<std::uint8_t>(static_cast<std::size_t>(width) *
+                                      static_cast<std::size_t>(height))};
+  std::size_t pos = 0;
+  for (int by = 0; by < height; by += kBlock) {
+    for (int bx = 0; bx < width; bx += kBlock) {
+      double coeffs[kBlock][kBlock] = {};
+      int i = 0;
+      while (true) {
+        if (pos >= stream.size()) throw std::invalid_argument("decompress: truncated stream");
+        const std::int16_t sym = stream[pos++];
+        if (sym == kEndOfBlock) break;
+        if (pos >= stream.size()) throw std::invalid_argument("decompress: truncated pair");
+        i += sym;  // zero run
+        if (i >= kBlock * kBlock) throw std::invalid_argument("decompress: run overflow");
+        const int idx = kZigzag[i];
+        coeffs[idx / kBlock][idx % kBlock] =
+            static_cast<double>(stream[pos++]) * q[static_cast<std::size_t>(idx)];
+        ++i;
+      }
+      double block[kBlock][kBlock];
+      inverse_dct(coeffs, block);
+      for (int x = 0; x < kBlock; ++x) {
+        for (int y = 0; y < kBlock; ++y) {
+          img.pixels[static_cast<std::size_t>(by + x) * static_cast<std::size_t>(width) +
+                     static_cast<std::size_t>(bx + y)] =
+              static_cast<std::uint8_t>(std::clamp(block[x][y] + 128.0, 0.0, 255.0));
+        }
+      }
+    }
+  }
+  if (pos != stream.size()) throw std::invalid_argument("decompress: trailing data");
+  return img;
+}
+
+double psnr(const Image& a, const Image& b) {
+  if (a.width != b.width || a.height != b.height) {
+    throw std::invalid_argument("psnr: size mismatch");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    const double d = static_cast<double>(a.pixels[i]) - static_cast<double>(b.pixels[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels.size());
+  if (mse == 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace pdc::apps::jpeg

@@ -1,0 +1,66 @@
+// pdceval -- JPEG-style image compression (SU PDABS, paper Section 3.3.1).
+//
+// A real DCT-based codec: 8x8 forward DCT, standard luminance quantisation,
+// zigzag scan, zero run-length encoding. Grayscale, no Huffman stage (the
+// RLE symbol stream is the "compressed" artefact) -- enough to exercise the
+// same data movement and per-block computation structure as the paper's
+// JPEG simulation, and fully invertible up to quantisation error so tests
+// can check PSNR and distributed-vs-serial bit-exactness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdc::apps::jpeg {
+
+inline constexpr int kBlock = 8;
+
+struct Image {
+  int width{0};
+  int height{0};
+  std::vector<std::uint8_t> pixels;  // row-major, width*height
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+};
+
+/// Deterministic synthetic photo-like test image (smooth gradients +
+/// texture + edges), seeded.
+[[nodiscard]] Image make_test_image(int width, int height, std::uint64_t seed);
+
+/// Forward 8x8 DCT-II of a (level-shifted) block; naive O(n^4), as 1995
+/// reference code was.
+void forward_dct(const double in[kBlock][kBlock], double out[kBlock][kBlock]);
+void inverse_dct(const double in[kBlock][kBlock], double out[kBlock][kBlock]);
+
+/// Standard JPEG luminance quantisation table scaled by quality (1..100).
+[[nodiscard]] std::array<int, kBlock * kBlock> quant_table(int quality);
+
+/// Compress a whole image (dimensions must be multiples of 8).
+[[nodiscard]] std::vector<std::int16_t> compress(const Image& img, int quality);
+
+/// Compress only rows [row_begin, row_end) -- the unit of parallel work.
+[[nodiscard]] std::vector<std::int16_t> compress_rows(const Image& img, int row_begin,
+                                                      int row_end, int quality);
+
+/// Decompress a symbol stream produced by compress() back to an image.
+[[nodiscard]] Image decompress(std::span<const std::int16_t> stream, int width, int height,
+                               int quality);
+
+/// Peak signal-to-noise ratio between two equal-sized images (dB).
+[[nodiscard]] double psnr(const Image& a, const Image& b);
+
+/// Modelled computational cost of one 8x8 block (DCT + quantisation +
+/// entropy coding in unoptimised 1995 C), in flops. Calibrated so a serial
+/// 512x512 compression takes ~4.2 s on the paper's 150 MHz Alpha.
+inline constexpr double kFlopsPerBlock = 41000.0;
+
+[[nodiscard]] inline double blocks_in(int width, int height) {
+  return (static_cast<double>(width) / kBlock) * (static_cast<double>(height) / kBlock);
+}
+
+}  // namespace pdc::apps::jpeg

@@ -1,0 +1,84 @@
+#include "apps/jpeg/parallel.hpp"
+
+#include <utility>
+
+#include "mp/pack.hpp"
+
+namespace pdc::apps::jpeg {
+
+namespace {
+
+constexpr int kTagSlice = 101;
+constexpr int kTagStream = 102;
+
+struct Strip {
+  int row_begin;
+  int row_end;
+};
+
+/// 8-row-aligned strip assignment; the first strip may be slightly larger
+/// (the paper: "one portion can be slightly larger than the rest").
+Strip strip_for(int rank, int procs, int height) {
+  const int strips = height / kBlock;
+  const int begin = static_cast<int>(static_cast<std::int64_t>(strips) * rank / procs);
+  const int end = static_cast<int>(static_cast<std::int64_t>(strips) * (rank + 1) / procs);
+  return {begin * kBlock, end * kBlock};
+}
+
+}  // namespace
+
+sim::Task<void> compress_distributed(mp::Communicator& comm, const Image& img, int quality,
+                                     std::vector<std::int16_t>* out) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+
+  if (rank == 0) {
+    // Distribution phase: ship each worker its pixel strip.
+    for (int r = 1; r < procs; ++r) {
+      const Strip s = strip_for(r, procs, img.height);
+      mp::Packer pk;
+      pk.put<std::int32_t>(img.width);
+      pk.put<std::int32_t>(s.row_end - s.row_begin);
+      pk.put<std::int32_t>(quality);
+      pk.put_span<std::uint8_t>(std::span<const std::uint8_t>(
+          img.pixels.data() + static_cast<std::size_t>(s.row_begin) *
+                                  static_cast<std::size_t>(img.width),
+          static_cast<std::size_t>(s.row_end - s.row_begin) *
+              static_cast<std::size_t>(img.width)));
+      co_await comm.send(r, kTagSlice, pk.finish());
+    }
+    // Compute phase: the host compresses its own strip too.
+    const Strip mine = strip_for(0, procs, img.height);
+    co_await comm.compute_flops(blocks_in(img.width, mine.row_end - mine.row_begin) *
+                                kFlopsPerBlock);
+    std::vector<std::int16_t> stream = compress_rows(img, mine.row_begin, mine.row_end, quality);
+    // Collection phase: splice worker streams in rank order.
+    std::vector<std::vector<std::int16_t>> parts(static_cast<std::size_t>(procs));
+    parts[0] = std::move(stream);
+    for (int r = 1; r < procs; ++r) {
+      mp::Message m = co_await comm.recv(mp::kAnySource, kTagStream);
+      mp::Unpacker u(*m.data);
+      parts[static_cast<std::size_t>(m.src)] = u.get_vector<std::int16_t>();
+    }
+    if (out != nullptr) {
+      out->clear();
+      for (auto& p : parts) out->insert(out->end(), p.begin(), p.end());
+    }
+    co_return;
+  }
+
+  // Worker: receive strip, compress, return the symbol stream.
+  mp::Message m = co_await comm.recv(0, kTagSlice);
+  mp::Unpacker u(*m.data);
+  const auto width = u.get<std::int32_t>();
+  const auto rows = u.get<std::int32_t>();
+  const auto q = u.get<std::int32_t>();
+  Image slice{width, rows, u.get_vector<std::uint8_t>()};
+  co_await comm.compute_flops(blocks_in(width, rows) * kFlopsPerBlock);
+  std::vector<std::int16_t> stream = compress(slice, q);
+  mp::Packer reply;
+  reply.put_span<std::int16_t>(std::span<const std::int16_t>(stream));
+  co_await comm.send(0, kTagStream, reply.finish());
+}
+
+}  // namespace pdc::apps::jpeg

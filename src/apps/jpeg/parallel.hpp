@@ -1,0 +1,25 @@
+// pdceval -- host-node parallel JPEG compression (paper Section 3.3, app 1).
+//
+// Rank 0 (the host) slices the image into 8-row-aligned strips, ships each
+// worker its strip (distribution phase), compresses its own strip, then
+// collects the workers' symbol streams in rank order (collection phase).
+// Heavy communication at both ends, none in the middle -- exactly the
+// paper's three-phase structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/jpeg/codec.hpp"
+#include "mp/communicator.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::apps::jpeg {
+
+/// Run the parallel compression on this rank. On rank 0, `*out` receives
+/// the complete symbol stream (identical to serial compress()); other ranks
+/// leave it untouched. `img` need only be populated on rank 0.
+sim::Task<void> compress_distributed(mp::Communicator& comm, const Image& img, int quality,
+                                     std::vector<std::int16_t>* out);
+
+}  // namespace pdc::apps::jpeg

@@ -1,0 +1,148 @@
+#include "apps/linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mp/pack.hpp"
+#include "sim/rng.hpp"
+
+namespace pdc::apps::linalg {
+
+namespace {
+constexpr int kTagScatter = 511;
+constexpr int kTagPivotRow = 1024;  // + step (disjoint from gather range)
+constexpr int kTagGather = 8192;    // + row index
+}  // namespace
+
+Mat make_dd_matrix(int n, std::uint64_t seed) {
+  Mat m = make_test_matrix(n, seed);
+  for (int i = 0; i < n; ++i) m.at(i, i) += static_cast<double>(n);  // dominance
+  return m;
+}
+
+Mat lu_serial(Mat a) {
+  const int n = a.n;
+  for (int k = 0; k < n; ++k) {
+    const double pivot = a.at(k, k);
+    if (pivot == 0.0) throw std::domain_error("lu_serial: zero pivot");
+    for (int i = k + 1; i < n; ++i) {
+      const double f = a.at(i, k) / pivot;
+      a.at(i, k) = f;
+      for (int j = k + 1; j < n; ++j) a.at(i, j) -= f * a.at(k, j);
+    }
+  }
+  return a;
+}
+
+Mat lu_reconstruct(const Mat& lu) {
+  const int n = lu.n;
+  Mat out{n, std::vector<double>(lu.a.size(), 0.0)};
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) {
+        const double l = (k == i) ? 1.0 : lu.at(i, k);
+        sum += l * lu.at(k, j);
+      }
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+sim::Task<void> lu_distributed(mp::Communicator& comm, const Mat& a, Mat* lu_out) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+
+  // Scatter rows cyclically: row i lives on rank i % procs.
+  mp::Bytes header;
+  if (rank == 0) {
+    mp::Packer pk;
+    pk.put<std::int32_t>(a.n);
+    header = *pk.finish();
+  }
+  co_await comm.broadcast(0, header, kTagScatter);
+  const int n = mp::Unpacker(header).get<std::int32_t>();
+
+  const int my_rows = n / procs + (rank < n % procs ? 1 : 0);
+  std::vector<std::vector<double>> rows(static_cast<std::size_t>(my_rows));
+  if (rank == 0) {
+    for (int i = 0; i < n; ++i) {
+      std::span<const double> row(a.a.data() + static_cast<std::size_t>(i) *
+                                                   static_cast<std::size_t>(n),
+                                  static_cast<std::size_t>(n));
+      if (i % procs == 0) {
+        rows[static_cast<std::size_t>(i / procs)].assign(row.begin(), row.end());
+      } else {
+        co_await comm.send(i % procs, kTagScatter, mp::pack_vector(row));
+      }
+    }
+  } else {
+    for (int r = 0; r < my_rows; ++r) {
+      mp::Message m = co_await comm.recv(0, kTagScatter);
+      rows[static_cast<std::size_t>(r)] = mp::unpack_vector<double>(*m.data);
+    }
+  }
+
+  // Factorise: owner broadcasts row k; everyone updates their rows > k.
+  for (int k = 0; k < n; ++k) {
+    const int owner = k % procs;
+    mp::Bytes pivot_bytes;
+    if (rank == owner) {
+      pivot_bytes = *mp::pack_vector(
+          std::span<const double>(rows[static_cast<std::size_t>(k / procs)]));
+    }
+    co_await comm.broadcast(owner, pivot_bytes, kTagPivotRow + k);
+    const auto pivot_row = mp::unpack_vector<double>(pivot_bytes);
+    const double pivot = pivot_row[static_cast<std::size_t>(k)];
+    if (pivot == 0.0) throw std::domain_error("lu_distributed: zero pivot");
+
+    // My rows strictly below k: global index i = rank + r*procs.
+    double updated = 0;
+    for (int r = 0; r < my_rows; ++r) {
+      const int i = rank + r * procs;
+      if (i <= k) continue;
+      auto& row = rows[static_cast<std::size_t>(r)];
+      const double f = row[static_cast<std::size_t>(k)] / pivot;
+      row[static_cast<std::size_t>(k)] = f;
+      for (int j = k + 1; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] -= f * pivot_row[static_cast<std::size_t>(j)];
+      }
+      ++updated;
+    }
+    co_await comm.compute_flops(updated * 2.0 * (n - k));
+  }
+
+  // Gather the packed factors on rank 0.
+  if (rank == 0) {
+    if (lu_out != nullptr) {
+      lu_out->n = n;
+      lu_out->a.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+      for (int r = 0; r < my_rows; ++r) {
+        const int i = r * procs;
+        std::copy(rows[static_cast<std::size_t>(r)].begin(),
+                  rows[static_cast<std::size_t>(r)].end(),
+                  lu_out->a.begin() + static_cast<std::ptrdiff_t>(i) * n);
+      }
+      for (int i = 0; i < n; ++i) {
+        if (i % procs == 0) continue;
+        mp::Message m = co_await comm.recv(i % procs, kTagGather + i);
+        const auto row = mp::unpack_vector<double>(*m.data);
+        std::copy(row.begin(), row.end(), lu_out->a.begin() + static_cast<std::ptrdiff_t>(i) * n);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        if (i % procs != 0) (void)co_await comm.recv(i % procs, kTagGather + i);
+      }
+    }
+  } else {
+    for (int r = 0; r < my_rows; ++r) {
+      const int i = rank + r * procs;
+      co_await comm.send(0, kTagGather + i,
+                         mp::pack_vector(std::span<const double>(rows[static_cast<std::size_t>(r)])));
+    }
+  }
+}
+
+}  // namespace pdc::apps::linalg

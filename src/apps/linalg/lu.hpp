@@ -1,0 +1,32 @@
+// pdceval -- LU decomposition (SU PDABS Table 2, numerical class #2).
+//
+// Right-looking LU without pivoting on a row-cyclic distribution: at step
+// k the owner of row k broadcasts it, and every rank eliminates its own
+// rows below k. Inputs are made diagonally dominant so no pivoting is
+// needed (standard for 1995 teaching codes; documented limitation).
+// Elimination order per row matches the serial code exactly, so the
+// distributed factors are bit-identical to the serial ones.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/linalg/matmul.hpp"
+#include "mp/communicator.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::apps::linalg {
+
+/// Diagonally dominant deterministic test matrix.
+[[nodiscard]] Mat make_dd_matrix(int n, std::uint64_t seed);
+
+/// Serial in-place LU (L below the unit diagonal, U on/above it).
+[[nodiscard]] Mat lu_serial(Mat a);
+
+/// Reconstruct L*U from a packed factorisation (test helper).
+[[nodiscard]] Mat lu_reconstruct(const Mat& lu);
+
+/// Distributed LU of `a` (populated on rank 0; scattered row-cyclically).
+/// Rank 0's `*lu_out` receives the gathered packed factors.
+sim::Task<void> lu_distributed(mp::Communicator& comm, const Mat& a, Mat* lu_out);
+
+}  // namespace pdc::apps::linalg

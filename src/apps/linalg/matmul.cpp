@@ -1,0 +1,124 @@
+#include "apps/linalg/matmul.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mp/pack.hpp"
+#include "sim/rng.hpp"
+
+namespace pdc::apps::linalg {
+
+namespace {
+constexpr int kTagRows = 501;
+constexpr int kTagB = 502;
+constexpr int kTagResult = 503;
+}  // namespace
+
+Mat make_test_matrix(int n, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("make_test_matrix: bad size");
+  Mat m{n, std::vector<double>(static_cast<std::size_t>(n) * static_cast<std::size_t>(n))};
+  sim::Rng rng(seed);
+  for (auto& x : m.a) x = rng.next_double() * 2.0 - 1.0;
+  return m;
+}
+
+Mat multiply_serial(const Mat& a, const Mat& b) {
+  if (a.n != b.n) throw std::invalid_argument("multiply_serial: size mismatch");
+  const int n = a.n;
+  Mat c{n, std::vector<double>(a.a.size(), 0.0)};
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      const double aik = a.at(i, k);
+      for (int j = 0; j < n; ++j) c.at(i, j) += aik * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+double max_abs_diff(const Mat& a, const Mat& b) {
+  if (a.n != b.n) throw std::invalid_argument("max_abs_diff: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.a.size(); ++i) {
+    worst = std::max(worst, std::abs(a.a[i] - b.a[i]));
+  }
+  return worst;
+}
+
+sim::Task<void> multiply_distributed(mp::Communicator& comm, const Mat& a, const Mat& b,
+                                     Mat* c_out) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+  // The matrix order is agreed via the broadcast of B (workers do not see
+  // `a`/`b` directly -- data genuinely moves through the tool).
+  mp::Bytes b_bytes;
+  int n = 0;
+  if (rank == 0) {
+    n = a.n;
+    if (a.n != b.n) throw std::invalid_argument("multiply_distributed: size mismatch");
+    if (n % procs != 0) {
+      throw std::invalid_argument("multiply_distributed: procs must divide n");
+    }
+    mp::Packer pk;
+    pk.put<std::int32_t>(n);
+    pk.put_span<double>(std::span<const double>(b.a));
+    b_bytes = *pk.finish();
+  }
+  co_await comm.broadcast(0, b_bytes, kTagB);
+  mp::Unpacker ub(b_bytes);
+  n = ub.get<std::int32_t>();
+  Mat local_b{n, ub.get_vector<double>()};
+  const int rows = n / procs;
+
+  // Scatter row blocks of A.
+  std::vector<double> my_rows;
+  if (rank == 0) {
+    my_rows.assign(a.a.begin(), a.a.begin() + static_cast<std::ptrdiff_t>(rows) * n);
+    for (int r = 1; r < procs; ++r) {
+      co_await comm.send(
+          r, kTagRows,
+          mp::pack_vector(std::span<const double>(
+              a.a.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(rows) *
+                               static_cast<std::size_t>(n),
+              static_cast<std::size_t>(rows) * static_cast<std::size_t>(n))));
+    }
+  } else {
+    mp::Message m = co_await comm.recv(0, kTagRows);
+    my_rows = mp::unpack_vector<double>(*m.data);
+  }
+
+  // Local block product (real arithmetic, billed).
+  co_await comm.compute_flops(2.0 * rows * static_cast<double>(n) * n);
+  std::vector<double> my_c(static_cast<std::size_t>(rows) * static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < rows; ++i) {
+    for (int k = 0; k < n; ++k) {
+      const double aik = my_rows[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                                 static_cast<std::size_t>(k)];
+      for (int j = 0; j < n; ++j) {
+        my_c[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)] += aik * local_b.at(k, j);
+      }
+    }
+  }
+
+  // Gather C at rank 0.
+  if (rank == 0) {
+    if (c_out != nullptr) {
+      c_out->n = n;
+      c_out->a.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+      std::copy(my_c.begin(), my_c.end(), c_out->a.begin());
+      for (int r = 1; r < procs; ++r) {
+        mp::Message m = co_await comm.recv(mp::kAnySource, kTagResult);
+        const auto part = mp::unpack_vector<double>(*m.data);
+        std::copy(part.begin(), part.end(),
+                  c_out->a.begin() + static_cast<std::ptrdiff_t>(m.src) * rows * n);
+      }
+    } else {
+      for (int r = 1; r < procs; ++r) (void)co_await comm.recv(mp::kAnySource, kTagResult);
+    }
+  } else {
+    co_await comm.send(0, kTagResult, mp::pack_vector(my_c));
+  }
+}
+
+}  // namespace pdc::apps::linalg

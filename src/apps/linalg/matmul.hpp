@@ -1,0 +1,45 @@
+// pdceval -- dense matrix multiplication (SU PDABS Table 2, numerical
+// class #4).
+//
+// C = A x B with A row-partitioned across ranks and B broadcast -- the
+// standard 1995 host-node formulation. Real arithmetic; billed at 2*n^3/P
+// flops per rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::apps::linalg {
+
+/// Row-major square matrix.
+struct Mat {
+  int n{0};
+  std::vector<double> a;
+
+  [[nodiscard]] double& at(int r, int c) {
+    return a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(c)];
+  }
+};
+
+[[nodiscard]] Mat make_test_matrix(int n, std::uint64_t seed);
+
+[[nodiscard]] Mat multiply_serial(const Mat& a, const Mat& b);
+
+/// Max |a-b| over all entries.
+[[nodiscard]] double max_abs_diff(const Mat& a, const Mat& b);
+
+/// Distributed C = A x B. `a` and `b` need only be populated on rank 0;
+/// rank 0's `*c_out` receives the gathered product. `n` must be divisible
+/// by size().
+sim::Task<void> multiply_distributed(mp::Communicator& comm, const Mat& a, const Mat& b,
+                                     Mat* c_out);
+
+}  // namespace pdc::apps::linalg

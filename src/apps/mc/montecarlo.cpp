@@ -1,0 +1,88 @@
+#include "apps/mc/montecarlo.hpp"
+
+#include <vector>
+
+#include "mp/pack.hpp"
+#include "sim/rng.hpp"
+
+namespace pdc::apps::mc {
+
+namespace {
+
+constexpr int kTagPartial = 301;  // + round
+constexpr int kTagFinal = 351;    // + round (disjoint from kTagPartial range)
+
+double integrand(double x) { return 4.0 / (1.0 + x * x); }
+
+/// The batch evaluated by (rank, round): deterministic, disjoint streams.
+double batch_sum(std::uint64_t seed, int rank, int round, std::int64_t count) {
+  sim::Rng rng(seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
+               static_cast<std::uint64_t>(round) * 0x9E3779B97F4A7C15ULL);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) sum += integrand(rng.next_double());
+  return sum;
+}
+
+}  // namespace
+
+sim::Task<void> integrate_distributed(mp::Communicator& comm, std::int64_t total_samples,
+                                      int rounds, std::uint64_t seed, Result* out) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+  const std::int64_t per_rank = total_samples / procs;
+  const std::int64_t per_round = per_rank / rounds;
+
+  double running = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    co_await comm.compute_flops(static_cast<double>(per_round) * kFlopsPerSample);
+    const double partial = batch_sum(seed, rank, round, per_round);
+
+    if (comm.has_global_sum()) {
+      std::vector<double> v(1, partial);
+      co_await comm.global_sum(v);
+      running += v[0];
+    } else {
+      // PVM path (no global operation): collect at the master, then
+      // multicast the round's total back so every rank holds the same
+      // running estimate the other tools' global sum provides.
+      double round_total = partial;
+      if (rank == 0) {
+        for (int r = 1; r < procs; ++r) {
+          mp::Message m = co_await comm.recv(mp::kAnySource, kTagPartial + round);
+          round_total += mp::unpack_vector<double>(*m.data)[0];
+        }
+      } else {
+        const std::vector<double> v(1, partial);
+        co_await comm.send(0, kTagPartial + round, mp::pack_vector(v));
+      }
+      mp::Bytes total;
+      if (rank == 0) {
+        const std::vector<double> v(1, round_total);
+        total = *mp::pack_vector(v);
+      }
+      co_await comm.broadcast(0, total, kTagFinal + round);
+      running += mp::unpack_vector<double>(total)[0];
+    }
+  }
+
+  if (out != nullptr) {
+    out->estimate = running / static_cast<double>(per_round * rounds * procs);
+    out->samples = per_round * rounds * procs;
+  }
+}
+
+Result integrate_serial(std::int64_t total_samples, int rounds, int procs,
+                        std::uint64_t seed) {
+  const std::int64_t per_rank = total_samples / procs;
+  const std::int64_t per_round = per_rank / rounds;
+  double sum = 0.0;
+  for (int rank = 0; rank < procs; ++rank) {
+    for (int round = 0; round < rounds; ++round) {
+      sum += batch_sum(seed, rank, round, per_round);
+    }
+  }
+  const std::int64_t n = per_round * rounds * procs;
+  return Result{sum / static_cast<double>(n), n};
+}
+
+}  // namespace pdc::apps::mc

@@ -1,0 +1,35 @@
+// pdceval -- Monte Carlo integration (SU PDABS, paper Section 3.3, app 3).
+//
+// Estimates pi = integral of 4/(1+x^2) over [0,1] by uniform sampling.
+// Compute-intensive, short messages: each of `rounds` phases evaluates a
+// batch of samples, then the partial sums are combined -- via the tool's
+// global summation (p4_global_op / excombine) or, for PVM (which has none),
+// a manual collect-at-master. This is precisely the app the paper uses to
+// expose latency and collective-primitive quality.
+#pragma once
+
+#include <cstdint>
+
+#include "mp/communicator.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::apps::mc {
+
+/// Integrand cost model: RNG + divide + function evaluation in 1995 libm.
+inline constexpr double kFlopsPerSample = 45.0;
+
+struct Result {
+  double estimate{0.0};       ///< available on every rank after completion
+  std::int64_t samples{0};    ///< total samples across ranks
+};
+
+/// Distributed integration: `total_samples` split evenly across ranks and
+/// `rounds` phases. Deterministic per (seed, rank, round).
+sim::Task<void> integrate_distributed(mp::Communicator& comm, std::int64_t total_samples,
+                                      int rounds, std::uint64_t seed, Result* out);
+
+/// Serial reference with identical sampling (for verification).
+[[nodiscard]] Result integrate_serial(std::int64_t total_samples, int rounds, int procs,
+                                      std::uint64_t seed);
+
+}  // namespace pdc::apps::mc

@@ -1,0 +1,139 @@
+#include "apps/sort/psrs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mp/pack.hpp"
+#include "sim/rng.hpp"
+
+namespace pdc::apps::sort {
+
+namespace {
+
+constexpr int kTagSamples = 401;
+constexpr int kTagPivots = 402;
+constexpr int kTagPartition = 403;
+constexpr int kTagGather = 404;
+
+[[nodiscard]] double nlogn(double n) { return n > 1 ? n * std::log2(n) : 0.0; }
+
+}  // namespace
+
+std::vector<std::int32_t> make_input(std::uint64_t seed, int rank, std::int64_t count) {
+  sim::Rng rng(seed ^ (static_cast<std::uint64_t>(rank) * 0xA24BAED4963EE407ULL));
+  std::vector<std::int32_t> keys(static_cast<std::size_t>(count));
+  for (auto& k : keys) k = rng.uniform_i32(-1'000'000'000, 1'000'000'000);
+  return keys;
+}
+
+sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys,
+                                 std::uint64_t seed, std::vector<std::int32_t>* out,
+                                 bool gather) {
+  const int procs = comm.size();
+  const int rank = comm.rank();
+  const std::int64_t local_n = total_keys / procs;
+  // Symmetric all-to-all ahead: bypass the pvmd daemons, as real PVM PSRS
+  // codes did (no-op for p4/Express).
+  comm.set_route_direct(true);
+
+  // Phase 1: local sort (real sort; billed as branchy 1995 code).
+  std::vector<std::int32_t> local = make_input(seed, rank, local_n);
+  co_await comm.compute_intops(nlogn(static_cast<double>(local_n)) * kOpsPerCompare);
+  std::sort(local.begin(), local.end());
+
+  if (procs == 1) {
+    if (out != nullptr) *out = std::move(local);
+    co_return;
+  }
+
+  // Phase 2: regular sampling -- p samples at stride n/p.
+  std::vector<std::int32_t> samples(static_cast<std::size_t>(procs));
+  for (int i = 0; i < procs; ++i) {
+    samples[static_cast<std::size_t>(i)] =
+        local[static_cast<std::size_t>(i * local_n / procs)];
+  }
+
+  // Phase 3: master gathers p^2 samples, sorts them, picks p-1 pivots.
+  std::vector<std::int32_t> pivots;
+  if (rank == 0) {
+    std::vector<std::int32_t> all = samples;
+    for (int r = 1; r < procs; ++r) {
+      mp::Message m = co_await comm.recv(mp::kAnySource, kTagSamples);
+      const auto s = mp::unpack_vector<std::int32_t>(*m.data);
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    co_await comm.compute_intops(nlogn(static_cast<double>(all.size())) * kOpsPerCompare);
+    std::sort(all.begin(), all.end());
+    for (int i = 1; i < procs; ++i) {
+      pivots.push_back(all[static_cast<std::size_t>(i * procs + procs / 2 - 1)]);
+    }
+  } else {
+    co_await comm.send(0, kTagSamples, mp::pack_vector(samples));
+  }
+
+  // Phase 4: pivot broadcast.
+  mp::Bytes pivot_bytes;
+  if (rank == 0) pivot_bytes = *mp::pack_vector(pivots);
+  co_await comm.broadcast(0, pivot_bytes, kTagPivots);
+  pivots = mp::unpack_vector<std::int32_t>(pivot_bytes);
+
+  // Phase 5: partition by pivots and exchange (all-to-all).
+  std::vector<std::vector<std::int32_t>> parts(static_cast<std::size_t>(procs));
+  {
+    auto it = local.begin();
+    for (int i = 0; i < procs - 1; ++i) {
+      auto next = std::upper_bound(it, local.end(), pivots[static_cast<std::size_t>(i)]);
+      parts[static_cast<std::size_t>(i)].assign(it, next);
+      it = next;
+    }
+    parts[static_cast<std::size_t>(procs - 1)].assign(it, local.end());
+  }
+  co_await comm.compute_intops(static_cast<double>(local_n) * 2.0);  // partition scan
+  for (int dst = 0; dst < procs; ++dst) {
+    if (dst == rank) continue;
+    co_await comm.send(dst, kTagPartition, mp::pack_vector(parts[static_cast<std::size_t>(dst)]));
+  }
+
+  // Phase 6: receive my partitions and k-way merge (real merges, billed).
+  std::vector<std::int32_t> merged = std::move(parts[static_cast<std::size_t>(rank)]);
+  for (int i = 1; i < procs; ++i) {
+    mp::Message m = co_await comm.recv(mp::kAnySource, kTagPartition);
+    const auto piece = mp::unpack_vector<std::int32_t>(*m.data);
+    std::vector<std::int32_t> next(merged.size() + piece.size());
+    std::merge(merged.begin(), merged.end(), piece.begin(), piece.end(), next.begin());
+    merged = std::move(next);
+    co_await comm.compute_intops(static_cast<double>(merged.size()) * kOpsPerCompare);
+  }
+
+  // Gather the ordered partitions at rank 0 (partition i <= partition i+1).
+  if (!gather) co_return;
+  if (rank == 0) {
+    std::vector<std::vector<std::int32_t>> pieces(static_cast<std::size_t>(procs));
+    pieces[0] = std::move(merged);
+    for (int r = 1; r < procs; ++r) {
+      mp::Message m = co_await comm.recv(mp::kAnySource, kTagGather);
+      pieces[static_cast<std::size_t>(m.src)] = mp::unpack_vector<std::int32_t>(*m.data);
+    }
+    if (out != nullptr) {
+      out->clear();
+      out->reserve(static_cast<std::size_t>(total_keys));
+      for (auto& p : pieces) out->insert(out->end(), p.begin(), p.end());
+    }
+  } else {
+    co_await comm.send(0, kTagGather, mp::pack_vector(merged));
+  }
+}
+
+std::vector<std::int32_t> sort_serial(std::int64_t total_keys, int procs, std::uint64_t seed) {
+  std::vector<std::int32_t> all;
+  all.reserve(static_cast<std::size_t>(total_keys));
+  const std::int64_t local_n = total_keys / procs;
+  for (int r = 0; r < procs; ++r) {
+    const auto part = make_input(seed, r, local_n);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace pdc::apps::sort

@@ -1,0 +1,39 @@
+// pdceval -- Parallel Sorting by Regular Sampling (SU PDABS, paper Section
+// 3.3, app 4).
+//
+// The classic PSRS phases: local sort, regular sampling, pivot selection at
+// the master, pivot broadcast, all-to-all partition exchange, local k-way
+// merge. "Computation and communication requirements are data dependent"
+// (paper) -- partition sizes vary with the data, and the exchange is the
+// all-to-all pattern where PVM's asynchronous buffered sends shine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::apps::sort {
+
+/// Modelled cost: comparisons-and-moves per element per log2 level, in
+/// integer ops (branchy 1995 quicksort/mergesort, cold caches).
+inline constexpr double kOpsPerCompare = 4.0;
+
+/// Deterministic input block for (seed, rank): `count` int32 keys.
+[[nodiscard]] std::vector<std::int32_t> make_input(std::uint64_t seed, int rank,
+                                                   std::int64_t count);
+
+/// Run PSRS over `total_keys` split evenly across ranks. With `gather`
+/// true, rank 0's `*out` receives the fully sorted sequence, identical to
+/// sorting the concatenated inputs serially; production runs leave the
+/// sorted partitions distributed (`gather` false), as the paper's code did.
+sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys,
+                                 std::uint64_t seed, std::vector<std::int32_t>* out,
+                                 bool gather = true);
+
+/// Serial reference: sort of the concatenated per-rank inputs.
+[[nodiscard]] std::vector<std::int32_t> sort_serial(std::int64_t total_keys, int procs,
+                                                    std::uint64_t seed);
+
+}  // namespace pdc::apps::sort

@@ -1,0 +1,35 @@
+// pdceval -- Application Performance Level (APL) benchmarks (paper Section
+// 2.2 / 3.3): execution time of the four SU PDABS applications on a chosen
+// platform/tool/processor-count, in simulated seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/platform.hpp"
+#include "mp/tool.hpp"
+
+namespace pdc::eval {
+
+enum class AppKind { Jpeg, Fft2d, MonteCarlo, Psrs };
+
+[[nodiscard]] const char* to_string(AppKind app);
+[[nodiscard]] const std::vector<AppKind>& all_apps();
+
+/// Workload sizes; defaults reproduce the paper's figures (see DESIGN.md).
+struct AplConfig {
+  int image_size{512};                  ///< JPEG: 512x512 grayscale
+  int jpeg_quality{50};
+  int fft_n{64};                        ///< 2D-FFT: 64x64 complex
+  std::int64_t mc_samples{1'500'000};   ///< Monte Carlo samples
+  int mc_rounds{16};
+  std::int64_t sort_keys{500'000};      ///< PSRS keys
+  std::uint64_t seed{20260706};
+};
+
+/// Simulated execution time (seconds) of `app` with `procs` processes.
+[[nodiscard]] double app_time_s(host::PlatformId platform, mp::ToolKind tool, AppKind app,
+                                int procs, const AplConfig& cfg = {});
+
+}  // namespace pdc::eval

@@ -1,0 +1,113 @@
+#include "eval/methodology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace pdc::eval {
+
+namespace {
+
+[[nodiscard]] std::optional<double> primitive_time_ms(host::PlatformId platform,
+                                                      mp::ToolKind tool, Primitive primitive,
+                                                      int procs, std::int64_t bytes,
+                                                      std::int64_t global_sum_ints) {
+  switch (primitive) {
+    case Primitive::SendRecv:
+      return sendrecv_ms(platform, tool, bytes);
+    case Primitive::Broadcast:
+      return broadcast_ms(platform, tool, procs, bytes);
+    case Primitive::Ring:
+      return ring_ms(platform, tool, procs, bytes);
+    case Primitive::GlobalSum:
+      return global_sum_ms(platform, tool, procs, global_sum_ints);
+  }
+  throw std::logic_error("primitive_time_ms: unknown primitive");
+}
+
+}  // namespace
+
+double tpl_score(host::PlatformId platform, mp::ToolKind tool, int procs, std::int64_t bytes,
+                 std::int64_t global_sum_ints) {
+  double log_sum = 0.0;
+  int counted = 0;
+  for (Primitive prim : all_primitives()) {
+    // Best time across tools for normalisation.
+    double best = 0.0;
+    bool any = false;
+    for (mp::ToolKind t : mp::all_tools()) {
+      const auto ms = primitive_time_ms(platform, t, prim, procs, bytes, global_sum_ints);
+      if (ms && (!any || *ms < best)) {
+        best = *ms;
+        any = true;
+      }
+    }
+    const auto mine = primitive_time_ms(platform, tool, prim, procs, bytes, global_sum_ints);
+    if (!mine) return 0.0;  // a missing primitive disqualifies a perfect TPL score
+    log_sum += std::log(best / *mine);
+    ++counted;
+  }
+  return std::exp(log_sum / counted);
+}
+
+double apl_score(host::PlatformId platform, mp::ToolKind tool, int procs,
+                 const AplConfig& cfg) {
+  double sum = 0.0;
+  int counted = 0;
+  for (AppKind app : all_apps()) {
+    double best = 0.0;
+    bool any = false;
+    for (mp::ToolKind t : mp::all_tools()) {
+      const double s = app_time_s(platform, t, app, procs, cfg);
+      if (!any || s < best) {
+        best = s;
+        any = true;
+      }
+    }
+    sum += best / app_time_s(platform, tool, app, procs, cfg);
+    ++counted;
+  }
+  return sum / counted;
+}
+
+std::vector<ToolEvaluation> evaluate_tools(const EvaluationConfig& cfg) {
+  const auto& w = cfg.level_weights;
+  if (w.tpl < 0 || w.apl < 0 || w.adl < 0) {
+    throw std::invalid_argument("evaluate_tools: negative level weight");
+  }
+  const double wsum = w.tpl + w.apl + w.adl;
+  if (wsum <= 0) throw std::invalid_argument("evaluate_tools: all level weights zero");
+
+  std::vector<ToolEvaluation> out;
+  for (mp::ToolKind tool : mp::all_tools()) {
+    ToolEvaluation e{};
+    e.tool = tool;
+    e.tpl_score =
+        tpl_score(cfg.platform, tool, cfg.procs, cfg.tpl_bytes, cfg.global_sum_ints);
+    e.apl_score = apl_score(cfg.platform, tool, cfg.procs, cfg.apl);
+    e.adl_score = adl_score(tool, cfg.adl_weights);
+    e.overall = (w.tpl * e.tpl_score + w.apl * e.apl_score + w.adl * e.adl_score) / wsum;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ToolEvaluation& a, const ToolEvaluation& b) { return a.overall > b.overall; });
+  return out;
+}
+
+std::vector<mp::ToolKind> rank_by_primitive(host::PlatformId platform, Primitive primitive,
+                                            int procs, std::int64_t bytes) {
+  std::vector<std::pair<double, mp::ToolKind>> timed;
+  for (mp::ToolKind t : mp::all_tools()) {
+    const auto ms = primitive_time_ms(platform, t, primitive, procs, bytes,
+                                      /*global_sum_ints=*/bytes / 4);
+    if (ms) timed.emplace_back(*ms, t);
+  }
+  std::sort(timed.begin(), timed.end());
+  std::vector<mp::ToolKind> out;
+  out.reserve(timed.size());
+  for (const auto& [ms, t] : timed) out.push_back(t);
+  return out;
+}
+
+}  // namespace pdc::eval

@@ -1,0 +1,80 @@
+// pdceval -- the paper's published measurements, embedded for side-by-side
+// reporting (EXPERIMENTS.md) and shape validation in tests.
+//
+// Source: Hariri et al., "Software Tool Evaluation Methodology", Table 3
+// (snd/recv round-trip times in milliseconds on SUN SPARCstations).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "host/platform.hpp"
+#include "mp/tool.hpp"
+
+namespace pdc::eval::paper {
+
+struct Table3Row {
+  std::int64_t bytes;
+  double pvm_eth, pvm_atm_lan, pvm_atm_wan;
+  double p4_eth, p4_atm_lan, p4_atm_wan;
+  double express_eth, express_atm_lan;  // no Express ATM-WAN column in the paper
+};
+
+inline constexpr Table3Row kTable3[] = {
+    {0, 9.655, 7.991, 7.764, 3.199, 2.966, 3.636, 4.807, 4.152},
+    {1024, 11.693, 8.678, 8.878, 3.599, 3.393, 4.168, 10.375, 7.240},
+    {2048, 14.306, 9.896, 10.105, 4.399, 3.748, 4.822, 18.362, 11.061},
+    {4096, 25.537, 13.673, 14.665, 9.332, 4.404, 5.069, 32.669, 16.990},
+    {8192, 44.392, 18.574, 19.526, 24.165, 6.482, 7.459, 59.166, 27.047},
+    {16384, 61.096, 27.365, 28.679, 44.164, 11.191, 13.573, 111.411, 46.003},
+    {32768, 109.844, 48.028, 53.320, 98.996, 19.104, 22.254, 189.760, 82.566},
+    {65536, 189.120, 88.176, 91.353, 173.158, 35.899, 41.725, 311.700, 153.970},
+};
+
+/// Paper value for (tool, platform, size); nullopt where the paper has no
+/// measurement (Express on ATM WAN, any tool elsewhere than Table 3's
+/// platforms).
+[[nodiscard]] inline std::optional<double> table3_ms(mp::ToolKind tool,
+                                                     host::PlatformId platform,
+                                                     std::int64_t bytes) {
+  for (const auto& row : kTable3) {
+    if (row.bytes != bytes) continue;
+    switch (platform) {
+      case host::PlatformId::SunEthernet:
+        switch (tool) {
+          case mp::ToolKind::Pvm:
+            return row.pvm_eth;
+          case mp::ToolKind::P4:
+            return row.p4_eth;
+          case mp::ToolKind::Express:
+            return row.express_eth;
+        }
+        break;
+      case host::PlatformId::SunAtmLan:
+        switch (tool) {
+          case mp::ToolKind::Pvm:
+            return row.pvm_atm_lan;
+          case mp::ToolKind::P4:
+            return row.p4_atm_lan;
+          case mp::ToolKind::Express:
+            return row.express_atm_lan;
+        }
+        break;
+      case host::PlatformId::SunAtmWan:
+        switch (tool) {
+          case mp::ToolKind::Pvm:
+            return row.pvm_atm_wan;
+          case mp::ToolKind::P4:
+            return row.p4_atm_wan;
+          case mp::ToolKind::Express:
+            return std::nullopt;
+        }
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pdc::eval::paper

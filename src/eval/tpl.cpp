@@ -1,0 +1,82 @@
+#include "eval/tpl.hpp"
+
+#include <numeric>
+
+#include "mp/api.hpp"
+#include "mp/pack.hpp"
+
+namespace pdc::eval {
+
+namespace {
+
+constexpr int kTag = 42;
+
+[[nodiscard]] mp::Bytes filled(std::int64_t bytes) {
+  return mp::Bytes(static_cast<std::size_t>(bytes), std::byte{0x5A});
+}
+
+}  // namespace
+
+double sendrecv_ms(host::PlatformId platform, mp::ToolKind tool, std::int64_t bytes) {
+  auto program = [bytes](mp::Communicator& c) -> sim::Task<void> {
+    if (c.rank() == 0) {
+      co_await c.send(1, kTag, mp::make_payload(filled(bytes)));
+      (void)co_await c.recv(1, kTag + 1);
+    } else {
+      mp::Message m = co_await c.recv(0, kTag);
+      co_await c.send(0, kTag + 1, m.data);
+    }
+  };
+  return mp::run_spmd(platform, 2, tool, program).elapsed.millis();
+}
+
+double broadcast_ms(host::PlatformId platform, mp::ToolKind tool, int procs,
+                    std::int64_t bytes) {
+  auto program = [bytes](mp::Communicator& c) -> sim::Task<void> {
+    mp::Bytes data;
+    if (c.rank() == 0) data = filled(bytes);
+    co_await c.broadcast(0, data, kTag);
+  };
+  return mp::run_spmd(platform, procs, tool, program).elapsed.millis();
+}
+
+double ring_ms(host::PlatformId platform, mp::ToolKind tool, int procs, std::int64_t bytes,
+               int rounds) {
+  auto program = [bytes, procs, rounds](mp::Communicator& c) -> sim::Task<void> {
+    const int next = (c.rank() + 1) % procs;
+    const int prev = (c.rank() + procs - 1) % procs;
+    for (int r = 0; r < rounds; ++r) {
+      co_await c.send(next, kTag + r, mp::make_payload(filled(bytes)));
+      (void)co_await c.recv(prev, kTag + r);
+    }
+  };
+  return mp::run_spmd(platform, procs, tool, program).elapsed.millis();
+}
+
+std::optional<double> global_sum_ms(host::PlatformId platform, mp::ToolKind tool, int procs,
+                                    std::int64_t n_integers) {
+  if (mp::tool_profile(tool, platform).reduce_algo ==
+      mp::ToolProfile::ReduceAlgo::Unsupported) {
+    return std::nullopt;  // PVM: no global operation (paper Section 3.2.4)
+  }
+  auto program = [n_integers](mp::Communicator& c) -> sim::Task<void> {
+    std::vector<std::int32_t> v(static_cast<std::size_t>(n_integers), c.rank() + 1);
+    co_await c.global_sum(v);
+  };
+  return mp::run_spmd(platform, procs, tool, program).elapsed.millis();
+}
+
+double barrier_ms(host::PlatformId platform, mp::ToolKind tool, int procs, int reps) {
+  auto program = [reps](mp::Communicator& c) -> sim::Task<void> {
+    for (int i = 0; i < reps; ++i) co_await c.barrier();
+  };
+  return mp::run_spmd(platform, procs, tool, program).elapsed.millis() / reps;
+}
+
+const std::vector<std::int64_t>& paper_message_sizes() {
+  static const std::vector<std::int64_t> kSizes = {0,    1024,  2048,  4096,
+                                                   8192, 16384, 32768, 65536};
+  return kSizes;
+}
+
+}  // namespace pdc::eval

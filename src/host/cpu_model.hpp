@@ -1,0 +1,41 @@
+// pdceval -- first-order CPU/host cost model.
+//
+// Each 1995 platform is characterised by a clock rate, a floating-point
+// rate, a memory-copy rate and fixed OS crossing costs. Application compute
+// phases bill flops; protocol stacks and tool buffer layers bill copies and
+// crossings. Values are calibrated against the paper's Table 3 (see
+// EXPERIMENTS.md) and era-typical LINPACK/lmbench numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace pdc::host {
+
+struct CpuModel {
+  std::string name;
+  double clock_mhz{0};
+  double mflops{0};        ///< sustained double-precision Mflop/s
+  double copy_mb_s{0};     ///< memcpy bandwidth, MB/s
+  sim::Duration os_crossing{};  ///< one syscall + context switch (send or recv)
+
+  /// Time to execute `flops` floating-point operations.
+  [[nodiscard]] sim::Duration compute(double flops) const {
+    return sim::from_seconds(flops / (mflops * 1e6));
+  }
+
+  /// Time to copy `bytes` through memory once.
+  [[nodiscard]] sim::Duration copy(std::int64_t bytes) const {
+    return sim::from_seconds(static_cast<double>(bytes) / (copy_mb_s * 1e6));
+  }
+
+  /// Time for `n` integer/compare-bound operations (sorting, RLE, ...).
+  /// Modelled at 1 op per 2 clock cycles, era-typical for RISC integer code.
+  [[nodiscard]] sim::Duration int_ops(double ops) const {
+    return sim::from_seconds(ops * 2.0 / (clock_mhz * 1e6));
+  }
+};
+
+}  // namespace pdc::host

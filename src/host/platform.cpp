@@ -1,0 +1,147 @@
+#include "host/platform.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "net/shared_bus.hpp"
+#include "net/switched.hpp"
+
+namespace pdc::host {
+
+namespace {
+
+// CPU calibration. `copy_mb_s` is the *network-path* copy rate (copy +
+// checksum), which is what TCP-era stacks actually achieved -- well below
+// raw memcpy. Sources: paper Table 3 fits (see EXPERIMENTS.md) and
+// era-typical lmbench/LINPACK figures.
+CpuModel sun_elc() {
+  return {.name = "SPARCstation-ELC",
+          .clock_mhz = 33,
+          .mflops = 5.5,
+          .copy_mb_s = 8.0,
+          .os_crossing = sim::microseconds(250)};
+}
+CpuModel sun_ipx() {
+  return {.name = "SPARCstation-IPX",
+          .clock_mhz = 40,
+          .mflops = 7.0,
+          .copy_mb_s = 16.0,
+          .os_crossing = sim::microseconds(200)};
+}
+CpuModel alpha_axp() {
+  return {.name = "DEC-Alpha-AXP",
+          .clock_mhz = 150,
+          .mflops = 40.0,
+          .copy_mb_s = 45.0,
+          .os_crossing = sim::microseconds(60)};
+}
+CpuModel rs6000_370() {
+  return {.name = "RS6000-370",
+          .clock_mhz = 62.5,
+          .mflops = 22.0,
+          .copy_mb_s = 30.0,
+          .os_crossing = sim::microseconds(120)};
+}
+
+const std::array<PlatformSpec, 6> kSpecs = {{
+    {PlatformId::SunEthernet, "SUN/Ethernet", 8, sun_elc()},
+    {PlatformId::SunAtmLan, "SUN/ATM-LAN", 4, sun_ipx()},
+    {PlatformId::SunAtmWan, "SUN/ATM-WAN(NYNET)", 4, sun_ipx()},
+    {PlatformId::AlphaFddi, "ALPHA/FDDI", 8, alpha_axp()},
+    {PlatformId::Sp1Switch, "IBM-SP1(Switch)", 16, rs6000_370()},
+    {PlatformId::Sp1Ethernet, "IBM-SP1(Ethernet)", 16, rs6000_370()},
+}};
+
+std::unique_ptr<net::Network> make_network(sim::Simulation& sim, PlatformId id,
+                                           std::int32_t nodes) {
+  switch (id) {
+    case PlatformId::SunEthernet: {
+      net::SharedBusParams p;  // defaults model 10 Mb/s Ethernet
+      return std::make_unique<net::SharedBusNetwork>(sim, "ethernet", p);
+    }
+    case PlatformId::Sp1Ethernet: {
+      net::SharedBusParams p;
+      p.per_frame_gap = sim::microseconds(60);  // dedicated segment, better drivers
+      return std::make_unique<net::SharedBusNetwork>(sim, "sp1-ethernet", p);
+    }
+    case PlatformId::SunAtmLan: {
+      net::SwitchedParams p;
+      p.line_rate_bps = 140e6;  // TAXI interface
+      p.switch_latency = sim::microseconds(20);
+      p.propagation = sim::microseconds(5);
+      p.access_overhead = sim::microseconds(120);
+      p.cell_payload = 48;
+      p.cell_total = 53;
+      return std::make_unique<net::SwitchedNetwork>(sim, "atm-lan", nodes, p);
+    }
+    case PlatformId::SunAtmWan: {
+      net::SwitchedParams p;
+      p.line_rate_bps = 140e6;
+      p.switch_latency = sim::microseconds(20);
+      p.propagation = sim::microseconds(320);  // Syracuse <-> Rome NY
+      p.access_overhead = sim::microseconds(120);
+      p.cell_payload = 48;
+      p.cell_total = 53;
+      p.trunk_split = nodes / 2 > 0 ? nodes / 2 : 1;  // half the SUNs at each site
+      p.trunk_rate_bps = 90e6;  // OC-3 uplink, effective after SONET/cell tax + sharing
+      return std::make_unique<net::SwitchedNetwork>(sim, "nynet", nodes, p);
+    }
+    case PlatformId::AlphaFddi: {
+      net::SwitchedParams p;
+      p.line_rate_bps = 100e6;
+      p.switch_latency = sim::microseconds(15);
+      p.propagation = sim::microseconds(5);
+      p.access_overhead = sim::microseconds(80);  // token + driver
+      p.frame_payload = 4352;                     // FDDI MTU
+      p.frame_overhead_bytes = 28;
+      return std::make_unique<net::SwitchedNetwork>(sim, "fddi", nodes, p);
+    }
+    case PlatformId::Sp1Switch: {
+      net::SwitchedParams p;
+      p.line_rate_bps = 256e6;  // Allnode crossbar, ~32 MB/s per link
+      p.switch_latency = sim::microseconds(2);
+      p.propagation = sim::microseconds(1);
+      p.access_overhead = sim::microseconds(60);
+      p.frame_payload = 8192;
+      p.frame_overhead_bytes = 16;
+      return std::make_unique<net::SwitchedNetwork>(sim, "allnode", nodes, p);
+    }
+  }
+  throw std::logic_error("make_network: unknown platform");
+}
+
+}  // namespace
+
+const char* to_string(PlatformId id) { return platform_spec(id).name.c_str(); }
+
+const PlatformSpec& platform_spec(PlatformId id) {
+  for (const auto& s : kSpecs) {
+    if (s.id == id) return s;
+  }
+  throw std::logic_error("platform_spec: unknown platform");
+}
+
+const std::vector<PlatformId>& all_platforms() {
+  static const std::vector<PlatformId> kAll = {
+      PlatformId::SunEthernet, PlatformId::SunAtmLan, PlatformId::SunAtmWan,
+      PlatformId::AlphaFddi,   PlatformId::Sp1Switch, PlatformId::Sp1Ethernet,
+  };
+  return kAll;
+}
+
+Cluster::Cluster(sim::Simulation& sim, PlatformId platform, std::int32_t nodes)
+    : sim_(sim), platform_(platform) {
+  const auto& spec = platform_spec(platform);
+  if (nodes <= 0) throw std::invalid_argument("Cluster: need at least one node");
+  if (nodes > spec.max_nodes) {
+    throw std::invalid_argument("Cluster: platform " + spec.name + " has at most " +
+                                std::to_string(spec.max_nodes) + " nodes");
+  }
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  for (std::int32_t i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, i, spec.cpu));
+  }
+  network_ = make_network(sim, platform, nodes);
+}
+
+}  // namespace pdc::host

@@ -1,0 +1,70 @@
+// pdceval -- catalogue of the paper's experimental platforms (Section 3.1).
+//
+// Each PlatformId bundles a CPU model and a network model calibrated to the
+// paper's environment at NPAC:
+//   SunEthernet -- SPARCstation ELC (33 MHz) on shared 10 Mb/s Ethernet
+//   SunAtmLan   -- SPARCstation IPX (40 MHz) on 140 Mb/s ATM (FORE, TAXI)
+//   SunAtmWan   -- SPARCstation IPX on NYNET OC-3 ATM WAN (Syracuse-Rome)
+//   AlphaFddi   -- DEC Alpha (150 MHz) on switched 100 Mb/s FDDI
+//   Sp1Switch   -- IBM SP-1 RS/6000-370 (62.5 MHz) on the Allnode crossbar
+//   Sp1Ethernet -- IBM SP-1 nodes on the dedicated Ethernet
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/cpu_model.hpp"
+#include "host/node.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace pdc::host {
+
+enum class PlatformId {
+  SunEthernet,
+  SunAtmLan,
+  SunAtmWan,
+  AlphaFddi,
+  Sp1Switch,
+  Sp1Ethernet,
+};
+
+[[nodiscard]] const char* to_string(PlatformId id);
+
+struct PlatformSpec {
+  PlatformId id;
+  std::string name;
+  std::int32_t max_nodes;
+  CpuModel cpu;
+};
+
+[[nodiscard]] const PlatformSpec& platform_spec(PlatformId id);
+
+/// All platforms, in the paper's order.
+[[nodiscard]] const std::vector<PlatformId>& all_platforms();
+
+/// A cluster: N identical nodes plus the platform's network, living on one
+/// simulation. This is the substrate every tool runtime is built on.
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, PlatformId platform, std::int32_t nodes);
+
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] PlatformId platform() const noexcept { return platform_; }
+  [[nodiscard]] const PlatformSpec& spec() const { return platform_spec(platform_); }
+  [[nodiscard]] std::int32_t size() const noexcept {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+  [[nodiscard]] Node& node(net::NodeId i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+
+ private:
+  sim::Simulation& sim_;
+  PlatformId platform_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<net::Network> network_;
+};
+
+}  // namespace pdc::host

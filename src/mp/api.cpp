@@ -1,0 +1,40 @@
+#include "mp/api.hpp"
+
+namespace pdc::mp {
+
+namespace {
+
+RunOutcome drive(sim::Simulation& simulation, Runtime& runtime, int nprocs, ToolKind tool,
+                 const RankProgram& program) {
+  for (int r = 0; r < nprocs; ++r) {
+    simulation.spawn(program(runtime.comm(r)),
+                     std::string(to_string(tool)) + ".rank" + std::to_string(r));
+  }
+  const sim::TimePoint end = simulation.run();
+  return RunOutcome{
+      .elapsed = end - sim::TimePoint::origin(),
+      .events = simulation.events_processed(),
+      .messages = runtime.messages_sent(),
+      .payload_bytes = runtime.payload_bytes_sent(),
+  };
+}
+
+}  // namespace
+
+RunOutcome run_spmd_with_profile(host::PlatformId platform, int nprocs, ToolKind label,
+                                 const ToolProfile& profile, const RankProgram& program) {
+  sim::Simulation simulation;
+  host::Cluster cluster(simulation, platform, nprocs);
+  Runtime runtime(cluster, label, profile);
+  return drive(simulation, runtime, nprocs, label, program);
+}
+
+RunOutcome run_spmd(host::PlatformId platform, int nprocs, ToolKind tool,
+                    const RankProgram& program) {
+  sim::Simulation simulation;
+  host::Cluster cluster(simulation, platform, nprocs);
+  Runtime runtime(cluster, tool);
+  return drive(simulation, runtime, nprocs, tool, program);
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,39 @@
+// pdceval -- top-level convenience API: run an SPMD (or host-node) program
+// written against Communicator on a chosen platform with a chosen tool, and
+// report the simulated execution time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "host/platform.hpp"
+#include "mp/communicator.hpp"
+#include "mp/runtime.hpp"
+#include "mp/tool.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::mp {
+
+/// A per-rank program body. Invoked once per rank; ranks run concurrently
+/// in simulated time. The same body serves SPMD and host-node styles (the
+/// paper's host-node model is rank 0 acting as host).
+using RankProgram = std::function<sim::Task<void>(Communicator&)>;
+
+struct RunOutcome {
+  sim::Duration elapsed;            ///< simulated wall time for the whole program
+  std::uint64_t events{0};          ///< simulator events processed
+  std::uint64_t messages{0};        ///< messages through the fabric
+  std::uint64_t payload_bytes{0};   ///< application payload carried
+};
+
+/// Build a cluster of `nprocs` nodes of `platform`, run `program` on every
+/// rank under `tool`, drive the simulation to completion and return the
+/// simulated elapsed time. Throws whatever the program throws.
+RunOutcome run_spmd(host::PlatformId platform, int nprocs, ToolKind tool,
+                    const RankProgram& program);
+
+/// As above, with an explicit (possibly hypothetical) tool cost profile.
+RunOutcome run_spmd_with_profile(host::PlatformId platform, int nprocs, ToolKind label,
+                                 const ToolProfile& profile, const RankProgram& program);
+
+}  // namespace pdc::mp

@@ -1,0 +1,470 @@
+#include "mp/communicator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mp/pack.hpp"
+
+namespace pdc::mp {
+
+Communicator::Communicator(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+
+std::int64_t Communicator::packets_for(std::int64_t bytes) const noexcept {
+  const auto& p = profile();
+  if (p.packet_bytes <= 0) return 0;
+  return std::max<std::int64_t>(1, (bytes + p.packet_bytes - 1) / p.packet_bytes);
+}
+
+sim::Duration Communicator::send_side_cost(std::int64_t bytes) const {
+  const auto& p = profile();
+  const auto& cpu = rt_.cluster().node(rank_).cpu();
+  sim::Duration d = p.send_fixed + sim::from_seconds(p.send_copies * cpu.copy(bytes).seconds());
+  d += packets_for(bytes) * p.per_packet_send;
+  return d;
+}
+
+sim::Duration Communicator::daemon_service(std::int64_t bytes) const {
+  const auto& p = profile();
+  const auto& cpu = rt_.cluster().node(rank_).cpu();
+  const std::int64_t frags =
+      p.daemon_fragment > 0
+          ? std::max<std::int64_t>(1, (bytes + p.daemon_fragment - 1) / p.daemon_fragment)
+          : 1;
+  return p.daemon_fixed + sim::from_seconds(p.daemon_copies * cpu.copy(bytes).seconds()) +
+         frags * p.daemon_per_fragment;
+}
+
+sim::Duration Communicator::daemon_latency(std::int64_t bytes, sim::Duration service) const {
+  // Pipeline-fill latency: route lookup plus one fragment's processing --
+  // unless the daemon itself is slower than the wire, in which case the
+  // critical path grows by the difference (the wire drains faster than the
+  // daemon produces).
+  const auto& p = profile();
+  const auto& cpu = rt_.cluster().node(rank_).cpu();
+  const auto& network = rt_.cluster().network();
+  const sim::Duration wire = sim::from_seconds(
+      static_cast<double>(network.wire_bytes(bytes)) * 8.0 / network.line_rate_bps());
+  const sim::Duration fill =
+      p.daemon_fixed + p.daemon_per_fragment +
+      sim::from_seconds(p.daemon_copies *
+                        cpu.copy(std::min(bytes, p.daemon_fragment)).seconds());
+  return std::max(fill, service - wire);
+}
+
+bool Communicator::probe(int src, int tag) {
+  return rt_.mailbox(rank_).poll(
+      [src, tag](const Message& m) { return m.matches(src, tag); });
+}
+
+sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("Communicator::send: bad destination");
+  const std::int64_t n = payload ? static_cast<std::int64_t>(payload->size()) : 0;
+  const auto& prof = profile();
+
+  // Application-side processing. With a background tx engine (Express) the
+  // application only pays the fixed handoff; the copies/packetisation run
+  // on the engine ahead of the wire.
+  if (prof.send_in_background) {
+    co_await sim().delay(prof.send_fixed);
+  } else {
+    co_await sim().delay(send_side_cost(n));
+  }
+
+  Message msg{rank_, tag, payload ? std::move(payload) : empty_payload()};
+
+  if (dst == rank_) {
+    // Loopback: one memory copy, no wire.
+    const sim::TimePoint at = sim().now() + node().cpu().copy(n);
+    rt_.deliver_at(at, dst, std::move(msg));
+    co_return;
+  }
+
+  if (prof.send_in_background) {
+    const auto& cpu = node().cpu();
+    const sim::Duration engine_work =
+        sim::from_seconds(prof.send_copies * cpu.copy(n).seconds()) +
+        packets_for(n) * prof.per_packet_send;
+    const sim::TimePoint e1 = rt_.tx_engine(rank_).reserve(engine_work);
+    Runtime* rt = &rt_;
+    const int src_rank = rank_;
+    const bool background = prof.recv_in_background;
+    const double recv_copies = prof.recv_copies;
+    const sim::Duration per_packet_recv = packets_for(n) * prof.per_packet_recv;
+    rt_.sim().schedule_at(e1, [rt, src_rank, dst, n, background, recv_copies,
+                               per_packet_recv, msg = std::move(msg)]() mutable {
+      rt->kernel_transfer(
+          src_rank, dst, n,
+          [rt, dst, n, background, recv_copies, per_packet_recv,
+           msg = std::move(msg)](sim::TimePoint t2) mutable {
+            if (background) {
+              const auto& cpu = rt->cluster().node(dst).cpu();
+              const sim::Duration service =
+                  sim::from_seconds(recv_copies * cpu.copy(n).seconds()) + per_packet_recv;
+              const sim::TimePoint b = rt->rx_engine(dst).reserve(service);
+              rt->deliver_at(b, dst, std::move(msg));
+            } else {
+              rt->deliver_at(t2, dst, std::move(msg));
+            }
+          });
+    });
+    // exsend blocks until the buffer layer has packetised the message (the
+    // receive side still pipelines with the wire).
+    if (prof.blocking_send) co_await sim().delay_until(e1);
+    co_return;
+  }
+
+  if (prof.via_daemon && route_direct_) {
+    // PvmRouteDirect: task-to-task TCP, no daemons, no fragment/ack wire
+    // protocol; the send stays asynchronous (buffer handed to the kernel).
+    Runtime* rt = &rt_;
+    rt_.kernel_transfer(rank_, dst, n, [rt, dst, msg = std::move(msg)](sim::TimePoint t2) mutable {
+      rt->deliver_at(t2, dst, std::move(msg));
+    });
+    co_return;
+  }
+
+  if (prof.via_daemon) {
+    // Hand the buffer to the local pvmd and return (fire-and-forget). The
+    // daemon chain: src pvmd -> kernel/wire -> dst pvmd -> mailbox. Each
+    // daemon is busy for its full service time (contention under load) but
+    // streams fragments onward, so the pipeline advances after the first
+    // fragment unless the daemon -- not the wire -- is the bottleneck.
+    const sim::Duration service = daemon_service(n);
+    const sim::Duration latency = daemon_latency(n, service);
+    const double penalty = prof.daemon_duplex_penalty;
+    auto daemon_hop = [penalty](sim::SerialResource& d, sim::Simulation& s,
+                                sim::Duration svc, sim::Duration lat) {
+      if (d.busy_until() > s.now()) {  // backlogged: duplex thrash
+        svc = sim::from_seconds(svc.seconds() * penalty);
+        lat = sim::from_seconds(lat.seconds() * penalty);
+      }
+      return d.reserve_pipelined(svc, lat);
+    };
+    const sim::TimePoint d1 = daemon_hop(rt_.daemon(rank_), sim(), service, latency);
+    Runtime* rt = &rt_;
+    const int src_rank = rank_;
+    const net::ChunkProtocol wire_protocol{.chunk_bytes = prof.daemon_fragment,
+                                           .ack_bytes = 64,
+                                           .turnaround = sim::microseconds(250)};
+    rt_.sim().schedule_at(
+        d1, [rt, src_rank, dst, n, service, latency, daemon_hop, wire_protocol,
+             msg = std::move(msg)]() mutable {
+          rt->kernel_transfer(
+              src_rank, dst, n,
+              [rt, dst, service, latency, daemon_hop, msg = std::move(msg)](
+                  sim::TimePoint) mutable {
+                const sim::TimePoint d2 =
+                    daemon_hop(rt->daemon(dst), rt->sim(), service, latency);
+                rt->deliver_at(d2, dst, std::move(msg));
+              },
+              wire_protocol);
+        });
+    co_return;  // pvm_send does not wait for the wire
+  }
+
+  // Direct route (p4, Express).
+  Runtime* rt = &rt_;
+  const bool background = prof.recv_in_background;
+  const double recv_copies = prof.recv_copies;
+  const sim::Duration per_packet_recv = packets_for(n) * prof.per_packet_recv;
+  const sim::TimePoint t1 = rt_.kernel_transfer(
+      rank_, dst, n,
+      [rt, dst, n, background, recv_copies, per_packet_recv,
+       msg = std::move(msg)](sim::TimePoint t2) mutable {
+        if (background) {
+          // Express buffer layer: the receive engine drains and reassembles
+          // packets concurrently with the application (and the wire).
+          const auto& cpu = rt->cluster().node(dst).cpu();
+          const sim::Duration service =
+              sim::from_seconds(recv_copies * cpu.copy(n).seconds()) + per_packet_recv;
+          const sim::TimePoint b = rt->rx_engine(dst).reserve(service);
+          rt->deliver_at(b, dst, std::move(msg));
+        } else {
+          rt->deliver_at(t2, dst, std::move(msg));
+        }
+      });
+  if (prof.blocking_send) co_await sim().delay_until(t1);
+}
+
+sim::Task<Message> Communicator::recv(int src, int tag) {
+  Message m = co_await rt_.mailbox(rank_).recv(
+      [src, tag](const Message& mm) { return mm.matches(src, tag); });
+  const auto& prof = profile();
+  sim::Duration post = prof.recv_fixed;
+  if (!prof.recv_in_background) {
+    // In-process unpack (PVM XDR decode, p4 buffer copy).
+    post += sim::from_seconds(prof.recv_copies * node().cpu().copy(m.size_bytes()).seconds());
+  }
+  co_await sim().delay(post);
+  co_return m;
+}
+
+// -- collectives -------------------------------------------------------------
+
+sim::Task<void> Communicator::broadcast(int root, Bytes& data, int tag) {
+  const int p = size();
+  if (p == 1) co_return;
+  const auto& prof = profile();
+
+  if (prof.broadcast_algo == ToolProfile::BroadcastAlgo::SequentialFromRoot) {
+    if (rank_ == root) {
+      Payload pay = make_payload(Bytes(data));
+      for (int i = 0; i < p; ++i) {
+        if (i == root) continue;
+        co_await sim().delay(prof.collective_step);
+        co_await send(i, tag, pay);
+      }
+    } else {
+      Message m = co_await recv(root, tag);
+      data = *m.data;
+    }
+    co_return;
+  }
+
+  // Binomial tree (MPICH-style).
+  const int rel = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      int src = rank_ - mask;
+      if (src < 0) src += p;
+      Message m = co_await recv(src, tag);
+      data = *m.data;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  Payload pay;  // lazily packed once per forwarding node
+  while (mask > 0) {
+    if (rel + mask < p) {
+      int dst = rank_ + mask;
+      if (dst >= p) dst -= p;
+      if (!pay) pay = make_payload(Bytes(data));
+      co_await sim().delay(prof.collective_step);
+      co_await send(dst, tag, pay);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<void> Communicator::barrier() {
+  const int p = size();
+  if (p == 1) co_return;
+  switch (profile().barrier_algo) {
+    case ToolProfile::BarrierAlgo::Tree:
+      co_await barrier_tree();
+      break;
+    case ToolProfile::BarrierAlgo::Coordinator:
+      co_await barrier_coordinator();
+      break;
+    case ToolProfile::BarrierAlgo::Dissemination:
+      co_await barrier_dissemination();
+      break;
+  }
+}
+
+sim::Task<void> Communicator::barrier_tree() {
+  const int p = size();
+  const auto step = profile().collective_step;
+  // Fan-in to rank 0.
+  int mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      co_await sim().delay(step);
+      co_await send(rank_ - mask, kTagBarrier, empty_payload());
+      break;
+    }
+    if (rank_ + mask < p) (void)co_await recv(rank_ + mask, kTagBarrier);
+    mask <<= 1;
+  }
+  // Release fan-out from rank 0.
+  mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      (void)co_await recv(rank_ - mask, kTagBarrierRelease);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank_ + mask < p) {
+      co_await sim().delay(step);
+      co_await send(rank_ + mask, kTagBarrierRelease, empty_payload());
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<void> Communicator::barrier_dissemination() {
+  const int p = size();
+  const auto step = profile().collective_step;
+  const int parity = barrier_seq_++ & 1;
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k % p + p) % p;
+    const int tag = kTagBarrier + 2 * k + parity;
+    co_await sim().delay(step);
+    co_await send(to, tag, empty_payload());
+    (void)co_await recv(from, tag);
+  }
+}
+
+sim::Task<void> Communicator::barrier_coordinator() {
+  const int p = size();
+  const auto step = profile().collective_step;
+  if (rank_ != 0) {
+    co_await send(0, kTagBarrier, empty_payload());
+    (void)co_await recv(0, kTagBarrierRelease);
+    co_return;
+  }
+  for (int i = 1; i < p; ++i) (void)co_await recv(kAnySource, kTagBarrier);
+  for (int i = 1; i < p; ++i) {
+    co_await sim().delay(step);
+    co_await send(i, kTagBarrierRelease, empty_payload());
+  }
+}
+
+// -- global reduction --------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void add_into(std::vector<T>& acc, const std::vector<T>& other) {
+  if (acc.size() != other.size()) {
+    throw std::invalid_argument("global_sum: mismatched vector lengths across ranks");
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+}  // namespace
+
+template <typename T>
+sim::Task<void> Communicator::global_sum_impl(std::vector<T>& v) {
+  const auto& prof = profile();
+  switch (prof.reduce_algo) {
+    case ToolProfile::ReduceAlgo::Unsupported:
+      throw ToolUnsupported(std::string(to_string(rt_.kind())) +
+                            " does not provide a global reduction primitive");
+    case ToolProfile::ReduceAlgo::GatherBroadcastTree:
+      co_await reduce_gather_broadcast(v);
+      break;
+    case ToolProfile::ReduceAlgo::RecursiveDoubling:
+      co_await reduce_recursive_doubling(v);
+      break;
+  }
+}
+
+template <typename T>
+sim::Task<void> Communicator::reduce_gather_broadcast(std::vector<T>& v) {
+  const int p = size();
+  if (p == 1) co_return;
+  const auto step = profile().collective_step;
+  const auto n = static_cast<double>(v.size());
+
+  // Binomial fan-in with element-wise combine.
+  int mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      co_await sim().delay(step);
+      co_await send(rank_ - mask, kTagReduce, pack_vector(v));
+      break;
+    }
+    if (rank_ + mask < p) {
+      Message m = co_await recv(rank_ + mask, kTagReduce);
+      add_into(v, unpack_vector<T>(*m.data));
+      if constexpr (std::is_floating_point_v<T>) {
+        co_await compute_flops(n);
+      } else {
+        co_await compute_intops(n);
+      }
+    }
+    mask <<= 1;
+  }
+  // Binomial broadcast of the result from rank 0.
+  mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      Message m = co_await recv(rank_ - mask, kTagReduceBcast);
+      v = unpack_vector<T>(*m.data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank_ + mask < p) {
+      co_await sim().delay(step);
+      co_await send(rank_ + mask, kTagReduceBcast, pack_vector(v));
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+sim::Task<void> Communicator::reduce_recursive_doubling(std::vector<T>& v) {
+  const int p = size();
+  if (p == 1) co_return;
+  const auto step = profile().collective_step;
+  const auto n = static_cast<double>(v.size());
+
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+
+  // Fold the ranks beyond the largest power of two into the core.
+  if (rank_ >= pof2) {
+    co_await sim().delay(step);
+    co_await send(rank_ - pof2, kTagReduce, pack_vector(v));
+  } else if (rank_ < rem) {
+    Message m = co_await recv(rank_ + pof2, kTagReduce);
+    add_into(v, unpack_vector<T>(*m.data));
+  }
+
+  if (rank_ < pof2) {
+    for (int k = 1; k < pof2; k <<= 1) {
+      const int partner = rank_ ^ k;
+      const int tag = kTagReduce + 2 * k;
+      co_await sim().delay(step);
+      co_await send(partner, tag, pack_vector(v));
+      Message m = co_await recv(partner, tag);
+      add_into(v, unpack_vector<T>(*m.data));
+      if constexpr (std::is_floating_point_v<T>) {
+        co_await compute_flops(n);
+      } else {
+        co_await compute_intops(n);
+      }
+    }
+  }
+
+  // Unfold: the core sends results back to the folded ranks.
+  if (rank_ >= pof2) {
+    Message m = co_await recv(rank_ - pof2, kTagReduceBcast);
+    v = unpack_vector<T>(*m.data);
+  } else if (rank_ < rem) {
+    co_await sim().delay(step);
+    co_await send(rank_ + pof2, kTagReduceBcast, pack_vector(v));
+  }
+}
+
+sim::Task<void> Communicator::global_sum(std::vector<double>& v) {
+  co_await global_sum_impl(v);
+}
+sim::Task<void> Communicator::global_sum(std::vector<std::int32_t>& v) {
+  co_await global_sum_impl(v);
+}
+
+// -- compute billing ----------------------------------------------------------
+
+sim::Task<void> Communicator::compute_flops(double flops) {
+  co_await sim().delay(node().cpu().compute(flops));
+}
+sim::Task<void> Communicator::compute_intops(double ops) {
+  co_await sim().delay(node().cpu().int_ops(ops));
+}
+sim::Task<void> Communicator::compute_copy(std::int64_t bytes) {
+  co_await sim().delay(node().cpu().copy(bytes));
+}
+
+}  // namespace pdc::mp

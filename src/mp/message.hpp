@@ -1,0 +1,47 @@
+// pdceval -- messages carried by the simulated tools.
+//
+// Payloads are real bytes: applications serialise actual data, the runtime
+// moves it between rank address spaces, and tests verify distributed
+// results bit-for-bit against serial references. Payloads are shared
+// (immutable) so a broadcast does not physically clone the buffer P times
+// in host memory -- the *simulated* copy costs are billed by the tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace pdc::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+using Bytes = std::vector<std::byte>;
+using Payload = std::shared_ptr<const Bytes>;
+
+[[nodiscard]] inline Payload make_payload(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+[[nodiscard]] inline Payload empty_payload() {
+  static const Payload kEmpty = std::make_shared<const Bytes>();
+  return kEmpty;
+}
+
+struct Message {
+  int src{kAnySource};
+  int tag{kAnyTag};
+  Payload data;
+
+  [[nodiscard]] std::int64_t size_bytes() const noexcept {
+    return data ? static_cast<std::int64_t>(data->size()) : 0;
+  }
+  [[nodiscard]] bool matches(int want_src, int want_tag) const noexcept {
+    return (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,108 @@
+// pdceval -- payload (de)serialisation helpers.
+//
+// Applications move real data through the simulated tools; these helpers
+// convert typed vectors and scalar streams to/from byte payloads. Native
+// byte order (the simulation runs in one address space; XDR costs are
+// billed in simulated time by the PVM profile, not performed).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace pdc::mp {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] Payload pack_vector(std::span<const T> v) {
+  Bytes b(v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(b.data(), v.data(), b.size());
+  return make_payload(std::move(b));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] Payload pack_vector(const std::vector<T>& v) {
+  return pack_vector(std::span<const T>(v));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] std::vector<T> unpack_vector(const Bytes& b) {
+  if (b.size() % sizeof(T) != 0) {
+    throw std::invalid_argument("unpack_vector: payload size not a multiple of element size");
+  }
+  std::vector<T> v(b.size() / sizeof(T));
+  if (!v.empty()) std::memcpy(v.data(), b.data(), b.size());
+  return v;
+}
+
+/// Sequential writer for mixed-type headers + data.
+class Packer {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Packer& put(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+    return *this;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Packer& put_span(std::span<const T> v) {
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    return *this;
+  }
+
+  [[nodiscard]] Payload finish() { return make_payload(std::move(buf_)); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential reader matching Packer's layout.
+class Unpacker {
+ public:
+  explicit Unpacker(const Bytes& b) : buf_(b) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T get() {
+    T value;
+    require(sizeof(T));
+    std::memcpy(&value, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > buf_.size()) throw std::out_of_range("Unpacker: truncated payload");
+  }
+
+  const Bytes& buf_;
+  std::size_t pos_{0};
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,60 @@
+#include "mp/runtime.hpp"
+
+#include <utility>
+
+#include "mp/communicator.hpp"
+
+namespace pdc::mp {
+
+Runtime::Runtime(host::Cluster& cluster, ToolKind kind)
+    : Runtime(cluster, kind, tool_profile(kind, cluster.platform())) {}
+
+Runtime::Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile)
+    : cluster_(cluster), kind_(kind), profile_(profile) {
+  auto& sim = cluster_.simulation();
+  const int n = cluster_.size();
+  for (int r = 0; r < n; ++r) {
+    mailboxes_.push_back(std::make_unique<sim::Mailbox<Message>>(sim));
+    daemons_.push_back(
+        std::make_unique<sim::SerialResource>(sim, "pvmd#" + std::to_string(r)));
+    rx_engines_.push_back(
+        std::make_unique<sim::SerialResource>(sim, "rxengine#" + std::to_string(r)));
+    tx_engines_.push_back(
+        std::make_unique<sim::SerialResource>(sim, "txengine#" + std::to_string(r)));
+  }
+  for (int r = 0; r < n; ++r) {
+    comms_.push_back(std::make_unique<Communicator>(*this, r));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Communicator& Runtime::comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
+
+sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes,
+                                        std::function<void(sim::TimePoint)> delivered,
+                                        std::optional<net::ChunkProtocol> chunked) {
+  ++messages_sent_;
+  payload_bytes_ += static_cast<std::uint64_t>(bytes);
+  auto& simulation = sim();
+  auto& src_node = cluster_.node(src);
+  const sim::TimePoint t1 = src_node.stack().reserve(src_node.stack_service(bytes));
+  simulation.schedule_at(t1, [this, src, dst, bytes, chunked,
+                              delivered = std::move(delivered)]() mutable {
+    const sim::TimePoint arrival =
+        chunked ? cluster_.network().transfer_chunked(src, dst, bytes, *chunked)
+                : cluster_.network().transfer(src, dst, bytes);
+    sim().schedule_at(arrival, [this, dst, bytes, delivered = std::move(delivered)]() mutable {
+      auto& dst_node = cluster_.node(dst);
+      const sim::TimePoint t2 = dst_node.stack().reserve(dst_node.stack_service(bytes));
+      sim().schedule_at(t2, [delivered = std::move(delivered), t2] { delivered(t2); });
+    });
+  });
+  return t1;
+}
+
+void Runtime::deliver_at(sim::TimePoint at, int dst, Message msg) {
+  sim().schedule_at(at, [this, dst, msg = std::move(msg)] { mailbox(dst).push(msg); });
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,91 @@
+// pdceval -- tool runtime: the messaging fabric one tool instance owns on
+// one cluster.
+//
+// The runtime owns per-rank mailboxes and the per-node auxiliary resources
+// (pvmd daemons, Express background receive engines) and implements the
+// kernel transfer pipeline: sender stack -> wire -> receiver stack, as a
+// chain of scheduled events so every resource reservation happens at its
+// own moment in simulated time (exact FIFO queueing).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "host/platform.hpp"
+#include "mp/message.hpp"
+#include "mp/profile.hpp"
+#include "mp/tool.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/resource.hpp"
+
+namespace pdc::mp {
+
+class Communicator;
+
+class Runtime {
+ public:
+  Runtime(host::Cluster& cluster, ToolKind kind);
+  /// Run with an explicit cost profile instead of a catalogued tool's --
+  /// the hook for evaluating hypothetical or future tools against the 1995
+  /// field (the paper's second objective: "defining the requirements of
+  /// future systems"). `kind` only labels the runtime.
+  Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] ToolKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int size() const noexcept { return cluster_.size(); }
+  [[nodiscard]] host::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return cluster_.simulation(); }
+  [[nodiscard]] const ToolProfile& profile() const noexcept { return profile_; }
+
+  [[nodiscard]] Communicator& comm(int rank);
+
+  [[nodiscard]] sim::Mailbox<Message>& mailbox(int rank) {
+    return *mailboxes_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] sim::SerialResource& daemon(int rank) {
+    return *daemons_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] sim::SerialResource& rx_engine(int rank) {
+    return *rx_engines_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] sim::SerialResource& tx_engine(int rank) {
+    return *tx_engines_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Push `bytes` through sender stack -> network -> receiver stack,
+  /// starting now. Returns the sender-stack completion time (what a
+  /// blocking send waits for); invokes `delivered` (via the scheduler) when
+  /// the receiver's kernel has the data. `chunked` selects the fragment+ack
+  /// wire protocol (PVM daemon traffic).
+  sim::TimePoint kernel_transfer(int src, int dst, std::int64_t bytes,
+                                 std::function<void(sim::TimePoint)> delivered,
+                                 std::optional<net::ChunkProtocol> chunked = std::nullopt);
+
+  /// Hand a message to rank `dst`'s mailbox at time `at`.
+  void deliver_at(sim::TimePoint at, int dst, Message msg);
+
+  /// Total messages moved through the fabric (reporting / tests).
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t payload_bytes_sent() const noexcept { return payload_bytes_; }
+
+ private:
+  host::Cluster& cluster_;
+  ToolKind kind_;
+  ToolProfile profile_;
+  std::vector<std::unique_ptr<sim::Mailbox<Message>>> mailboxes_;
+  std::vector<std::unique_ptr<sim::SerialResource>> daemons_;
+  std::vector<std::unique_ptr<sim::SerialResource>> rx_engines_;
+  std::vector<std::unique_ptr<sim::SerialResource>> tx_engines_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+  std::uint64_t messages_sent_{0};
+  std::uint64_t payload_bytes_{0};
+
+  friend class Communicator;
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,28 @@
+// pdceval -- the evaluated PDC tools.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdc::mp {
+
+/// The three message-passing tools the paper evaluates.
+enum class ToolKind {
+  P4,       ///< Argonne p4: thin layer over direct sockets
+  Pvm,      ///< Oak Ridge PVM 3.x: pvmd daemons, XDR packing
+  Express,  ///< ParaSoft Express: packetised buffer layer, Cubix model
+};
+
+[[nodiscard]] const char* to_string(ToolKind k);
+
+[[nodiscard]] const std::vector<ToolKind>& all_tools();
+
+/// Thrown when a primitive is not provided by a tool (e.g. PVM 3.2 has no
+/// global reduction -- the paper excludes it from the global-sum benchmark).
+class ToolUnsupported : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,54 @@
+// pdceval -- abstract network model.
+//
+// A Network answers one question: if `bytes` leave node `src` for node
+// `dst` starting now, when does the last byte arrive at dst's NIC?
+// Contention is modelled with busy-until SerialResources (exact FIFO
+// queueing given the event loop's chronological calls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace pdc::net {
+
+using NodeId = std::int32_t;
+
+/// Wire behaviour of a datagram-fragment protocol (PVM's pvmd-to-pvmd
+/// traffic: 4 KB fragments, each acknowledged). On a shared half-duplex
+/// medium the extra channel acquisitions and ack turnarounds are costly
+/// under load; switched full-duplex fabrics ignore this (acks ride the
+/// reverse path without contending).
+struct ChunkProtocol {
+  std::int64_t chunk_bytes{4096};
+  std::int64_t ack_bytes{64};
+  sim::Duration turnaround{sim::microseconds(250)};
+};
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Start injecting `bytes` from src toward dst at the current simulated
+  /// time; returns the arrival time of the last byte at dst.
+  virtual sim::TimePoint transfer(NodeId src, NodeId dst, std::int64_t bytes) = 0;
+
+  /// As transfer(), but carried by a stop-and-wait fragment protocol.
+  /// Default: identical to transfer() (protocol costs negligible).
+  virtual sim::TimePoint transfer_chunked(NodeId src, NodeId dst, std::int64_t bytes,
+                                          const ChunkProtocol& /*protocol*/) {
+    return transfer(src, dst, bytes);
+  }
+
+  /// Nominal line rate in bits/s (for reporting).
+  [[nodiscard]] virtual double line_rate_bps() const noexcept = 0;
+
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// Wire-level bytes actually transmitted for a payload of `bytes`
+  /// (framing/cell tax); used by utilisation reports and tests.
+  [[nodiscard]] virtual std::int64_t wire_bytes(std::int64_t bytes) const noexcept = 0;
+};
+
+}  // namespace pdc::net

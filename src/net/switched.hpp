@@ -1,0 +1,72 @@
+// pdceval -- switched point-to-point network (FDDI segments, ATM LAN/WAN,
+// SP-1 Allnode crossbar).
+//
+// Each node owns a full-duplex link: a tx port resource and an rx port
+// resource. A transfer serialises on the sender's tx port, crosses the
+// switch (fixed latency + propagation), and occupies the receiver's rx port
+// cut-through style (the rx window starts one switch latency after the tx
+// window). Distinct node pairs therefore proceed in parallel; many-to-one
+// traffic queues on the destination rx port, as on real switches.
+//
+// Optional cell segmentation (ATM AAL5: 48-byte payload in 53-byte cells)
+// and an optional shared trunk (the NYNET OC-3 uplink) are supported.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace pdc::net {
+
+struct SwitchedParams {
+  double line_rate_bps{100e6};
+  sim::Duration switch_latency{sim::microseconds(10)};
+  sim::Duration propagation{sim::microseconds(5)};
+  /// Per-packet/token/cell-burst access overhead charged once per transfer.
+  sim::Duration access_overhead{sim::microseconds(50)};
+  /// If >0, payload is carried in cells of `cell_payload` bytes costing
+  /// `cell_total` bytes on the wire (ATM: 48/53). If 0, framing adds
+  /// `frame_overhead_bytes` per `frame_payload` chunk.
+  std::int64_t cell_payload{0};
+  std::int64_t cell_total{0};
+  std::int64_t frame_payload{4352};       ///< FDDI MTU default
+  std::int64_t frame_overhead_bytes{28};
+  /// Shared trunk between two halves of the cluster (ATM WAN): nodes with
+  /// id < trunk_split talk to nodes >= trunk_split through one shared
+  /// full-duplex trunk of `trunk_rate_bps`.
+  std::optional<std::int32_t> trunk_split;
+  double trunk_rate_bps{155e6};
+};
+
+class SwitchedNetwork final : public Network {
+ public:
+  SwitchedNetwork(sim::Simulation& sim, std::string name, std::int32_t nodes,
+                  SwitchedParams params);
+
+  sim::TimePoint transfer(NodeId src, NodeId dst, std::int64_t bytes) override;
+  [[nodiscard]] double line_rate_bps() const noexcept override { return params_.line_rate_bps; }
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
+
+  [[nodiscard]] std::int32_t node_count() const noexcept {
+    return static_cast<std::int32_t>(tx_.size());
+  }
+
+ private:
+  [[nodiscard]] sim::Duration serialization(std::int64_t bytes, double rate_bps) const noexcept;
+  [[nodiscard]] bool crosses_trunk(NodeId src, NodeId dst) const noexcept;
+
+  std::string name_;
+  SwitchedParams params_;
+  std::vector<std::unique_ptr<sim::SerialResource>> tx_;
+  std::vector<std::unique_ptr<sim::SerialResource>> rx_;
+  std::unique_ptr<sim::SerialResource> trunk_;  // only with trunk_split
+};
+
+}  // namespace pdc::net

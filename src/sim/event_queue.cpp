@@ -1,0 +1,22 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace pdc::sim {
+
+void EventQueue::push(TimePoint at, Action action) {
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+EventQueue::Action EventQueue::pop() {
+  Action a = std::move(heap_.top().action);
+  heap_.pop();
+  return a;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+}
+
+}  // namespace pdc::sim

@@ -1,0 +1,53 @@
+// pdceval -- time-ordered event queue.
+//
+// A binary heap of (time, sequence, action). The monotonically increasing
+// sequence number makes ordering of same-time events FIFO and therefore
+// deterministic across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pdc::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueue `action` to fire at absolute time `at`.
+  void push(TimePoint at, Action action);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() const { return heap_.top().at; }
+
+  /// Remove and return the earliest pending event's action.
+  /// Precondition: !empty().
+  [[nodiscard]] Action pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    // `mutable` so the action can be moved out of the const top() reference
+    // when popping; the heap ordering never depends on it.
+    mutable Action action;
+
+    [[nodiscard]] bool operator>(const Entry& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace pdc::sim

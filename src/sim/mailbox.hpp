@@ -1,0 +1,107 @@
+// pdceval -- typed mailbox with predicate matching.
+//
+// The core blocking primitive for message passing: a process awaits
+// `recv(matcher)` and is resumed when a matching item is pushed. Unmatched
+// items queue in arrival order; waiters are served in arrival order. This
+// mirrors tag/source matching in real message-passing systems (p4 type
+// matching, PVM tag matching, Express types).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace pdc::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  using Matcher = std::function<bool(const T&)>;
+
+  explicit Mailbox(Simulation& sim) : sim_(sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deliver an item. If a waiter's matcher accepts it, that waiter is
+  /// resumed (via the scheduler) with the item; otherwise the item queues.
+  void push(T item) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (!it->matcher || it->matcher(item)) {
+        Waiter w = std::move(*it);
+        waiters_.erase(it);
+        w.slot->emplace(std::move(item));
+        sim_.schedule_resume(sim_.now(), w.handle);
+        return;
+      }
+    }
+    queue_.push_back(std::move(item));
+  }
+
+  /// Awaitable receive. With no matcher, receives the oldest item.
+  [[nodiscard]] auto recv(Matcher matcher = nullptr) {
+    struct Awaiter {
+      Mailbox& box;
+      Matcher matcher;
+      std::optional<T> slot;
+
+      [[nodiscard]] bool await_ready() {
+        auto found = box.take_matching(matcher);
+        if (found) {
+          slot = std::move(found);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        box.waiters_.push_back(Waiter{std::move(matcher), &slot, h});
+      }
+      T await_resume() { return std::move(*slot); }
+    };
+    return Awaiter{*this, std::move(matcher), std::nullopt};
+  }
+
+  /// Non-blocking probe: does a matching item sit in the queue?
+  [[nodiscard]] bool poll(const Matcher& matcher = nullptr) const {
+    if (!matcher) return !queue_.empty();
+    for (const auto& item : queue_) {
+      if (matcher(item)) return true;
+    }
+    return false;
+  }
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<T> try_recv(const Matcher& matcher = nullptr) {
+    return take_matching(matcher);
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    Matcher matcher;
+    std::optional<T>* slot;
+    std::coroutine_handle<> handle;
+  };
+
+  std::optional<T> take_matching(const Matcher& matcher) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!matcher || matcher(*it)) {
+        std::optional<T> out(std::move(*it));
+        queue_.erase(it);
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Simulation& sim_;
+  std::deque<T> queue_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace pdc::sim

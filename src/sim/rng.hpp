@@ -1,0 +1,49 @@
+// pdceval -- deterministic random number generation (SplitMix64 core).
+//
+// Self-contained so results are identical across standard libraries
+// (std::mt19937 distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace pdc::sim {
+
+/// SplitMix64: tiny, fast, passes BigCrush when used as a stream. Good
+/// enough for workload generation and Monte Carlo demos; NOT for crypto.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    // Lemire-style rejection-free bound is overkill here; modulo bias is
+    // negligible for the ranges used (<< 2^64).
+    return lo + next_u64() % (hi - lo + 1);
+  }
+
+  constexpr std::int32_t uniform_i32(std::int32_t lo, std::int32_t hi) noexcept {
+    return static_cast<std::int32_t>(static_cast<std::int64_t>(lo) +
+                                     static_cast<std::int64_t>(next_u64() % static_cast<std::uint64_t>(
+                                                                   static_cast<std::int64_t>(hi) - lo + 1)));
+  }
+
+  /// Derive an independent stream (for per-process RNGs).
+  [[nodiscard]] constexpr Rng split() noexcept { return Rng(next_u64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pdc::sim

@@ -1,0 +1,49 @@
+// pdceval -- running statistics (Welford) used by the evaluation harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pdc::sim {
+
+/// Single-pass mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace pdc::sim

@@ -1,0 +1,76 @@
+// pdceval -- simulated time.
+//
+// All simulation timing uses integer nanoseconds wrapped in strong types so
+// that durations and absolute points cannot be mixed accidentally and so
+// that every run is bit-for-bit deterministic (no floating-point clock
+// drift). Helpers convert to/from double seconds only at the reporting
+// boundary.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace pdc::sim {
+
+/// A span of simulated time, in integer nanoseconds.
+struct Duration {
+  std::int64_t ns{0};
+
+  [[nodiscard]] static constexpr Duration zero() noexcept { return {0}; }
+  [[nodiscard]] static constexpr Duration max() noexcept {
+    return {std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration d) noexcept {
+    ns += d.ns;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) noexcept {
+    ns -= d.ns;
+    return *this;
+  }
+
+  /// Lossy conversion for reporting.
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) * 1e-6; }
+  [[nodiscard]] constexpr double micros() const noexcept { return static_cast<double>(ns) * 1e-3; }
+};
+
+[[nodiscard]] constexpr Duration operator+(Duration a, Duration b) noexcept { return {a.ns + b.ns}; }
+[[nodiscard]] constexpr Duration operator-(Duration a, Duration b) noexcept { return {a.ns - b.ns}; }
+[[nodiscard]] constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return {a.ns * k}; }
+[[nodiscard]] constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return {a.ns * k}; }
+[[nodiscard]] constexpr Duration operator/(Duration a, std::int64_t k) noexcept { return {a.ns / k}; }
+
+/// An absolute point on the simulated clock (nanoseconds since t=0).
+struct TimePoint {
+  std::int64_t ns{0};
+
+  [[nodiscard]] static constexpr TimePoint origin() noexcept { return {0}; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) * 1e-6; }
+};
+
+[[nodiscard]] constexpr TimePoint operator+(TimePoint t, Duration d) noexcept { return {t.ns + d.ns}; }
+[[nodiscard]] constexpr TimePoint operator+(Duration d, TimePoint t) noexcept { return {t.ns + d.ns}; }
+[[nodiscard]] constexpr TimePoint operator-(TimePoint t, Duration d) noexcept { return {t.ns - d.ns}; }
+[[nodiscard]] constexpr Duration operator-(TimePoint a, TimePoint b) noexcept { return {a.ns - b.ns}; }
+
+// Construction helpers. `seconds_d`/`from_seconds` round to the nearest
+// nanosecond; sub-nanosecond precision is below the model's fidelity.
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t v) noexcept { return {v}; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t v) noexcept { return {v * 1000}; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t v) noexcept { return {v * 1'000'000}; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t v) noexcept { return {v * 1'000'000'000}; }
+
+[[nodiscard]] constexpr Duration from_seconds(double s) noexcept {
+  return {static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+}  // namespace pdc::sim

@@ -1,0 +1,150 @@
+// Evaluation-framework tests: ADL criteria, weighted methodology, ranking,
+// and determinism of the whole stack.
+#include <gtest/gtest.h>
+
+#include "eval/apl.hpp"
+#include "eval/criteria.hpp"
+#include "eval/methodology.hpp"
+#include "eval/tpl.hpp"
+#include "mp/api.hpp"
+
+namespace pdc::eval {
+namespace {
+
+using host::PlatformId;
+using mp::ToolKind;
+
+TEST(Criteria, MatrixMatchesPaperSection331) {
+  // Spot checks straight from the paper's table.
+  EXPECT_EQ(adl_rating(ToolKind::P4, Criterion::EaseOfProgramming),
+            Support::PartiallySupported);
+  EXPECT_EQ(adl_rating(ToolKind::Pvm, Criterion::EaseOfProgramming),
+            Support::WellSupported);
+  EXPECT_EQ(adl_rating(ToolKind::Express, Criterion::DebuggingSupport),
+            Support::WellSupported);
+  EXPECT_EQ(adl_rating(ToolKind::Pvm, Criterion::Customization), Support::NotSupported);
+  EXPECT_EQ(adl_rating(ToolKind::Express, Criterion::Integration), Support::NotSupported);
+  for (ToolKind t : mp::all_tools()) {
+    EXPECT_EQ(adl_rating(t, Criterion::Portability), Support::WellSupported);
+    EXPECT_EQ(adl_rating(t, Criterion::ErrorHandling), Support::PartiallySupported);
+  }
+}
+
+TEST(Criteria, UniformAdlScoresMatchHandComputation) {
+  // P4: 3 WS + 6 PS                  -> (3*1.0 + 6*0.5)/9 = 6/9.
+  EXPECT_NEAR(adl_score(ToolKind::P4, AdlWeights::uniform()), 6.0 / 9.0, 1e-12);
+  // PVM: 6 WS + 2 PS + 1 NS         -> 7/9.
+  EXPECT_NEAR(adl_score(ToolKind::Pvm, AdlWeights::uniform()), 7.0 / 9.0, 1e-12);
+  // Express: 5 WS + 3 PS + 1 NS     -> 6.5/9.
+  EXPECT_NEAR(adl_score(ToolKind::Express, AdlWeights::uniform()), 6.5 / 9.0, 1e-12);
+}
+
+TEST(Criteria, WeightsShiftTheRanking) {
+  // Uniform: PVM has the best ADL score.
+  const auto u = AdlWeights::uniform();
+  EXPECT_GT(adl_score(ToolKind::Pvm, u), adl_score(ToolKind::P4, u));
+  // A debugging-obsessed profile flips the winner to Express.
+  AdlWeights debug_heavy = AdlWeights::uniform();
+  for (auto& [c, w] : debug_heavy.weights) {
+    if (c == Criterion::DebuggingSupport) w = 10.0;
+  }
+  EXPECT_GT(adl_score(ToolKind::Express, debug_heavy), adl_score(ToolKind::Pvm, debug_heavy));
+}
+
+TEST(Criteria, NegativeWeightRejected) {
+  AdlWeights bad = AdlWeights::uniform();
+  bad.weights[0].second = -1.0;
+  EXPECT_THROW((void)adl_score(ToolKind::P4, bad), std::invalid_argument);
+}
+
+TEST(Criteria, Table1NativeCalls) {
+  EXPECT_EQ(native_call(ToolKind::Express, Primitive::GlobalSum), "excombine");
+  EXPECT_EQ(native_call(ToolKind::Pvm, Primitive::GlobalSum), "Not Available");
+  EXPECT_EQ(native_call(ToolKind::P4, Primitive::SendRecv), "p4_send/p4_recv");
+  EXPECT_EQ(native_call(ToolKind::Pvm, Primitive::Broadcast), "pvm_mcast");
+}
+
+TEST(Methodology, ScoresAreNormalisedAndSorted) {
+  EvaluationConfig cfg;
+  cfg.platform = PlatformId::SunAtmLan;
+  cfg.procs = 4;
+  cfg.apl.image_size = 128;  // keep the test fast
+  cfg.apl.mc_samples = 200'000;
+  cfg.apl.mc_rounds = 4;
+  cfg.apl.sort_keys = 50'000;
+  cfg.apl.fft_n = 32;
+  const auto evals = evaluate_tools(cfg);
+  ASSERT_EQ(evals.size(), 3u);
+  for (std::size_t i = 0; i + 1 < evals.size(); ++i) {
+    EXPECT_GE(evals[i].overall, evals[i + 1].overall);
+  }
+  bool someone_best_tpl = false;
+  for (const auto& e : evals) {
+    EXPECT_GE(e.tpl_score, 0.0);
+    EXPECT_LE(e.tpl_score, 1.0);
+    EXPECT_GE(e.apl_score, 0.0);
+    EXPECT_LE(e.apl_score, 1.0 + 1e-12);
+    EXPECT_GE(e.adl_score, 0.0);
+    EXPECT_LE(e.adl_score, 1.0);
+    if (e.tpl_score > 0.99) someone_best_tpl = true;
+  }
+  EXPECT_TRUE(someone_best_tpl);  // the best tool scores ~1.0 by construction
+  // On every platform in this study, p4 wins the communication levels.
+  EXPECT_EQ(evals.front().tool, ToolKind::P4);
+}
+
+TEST(Methodology, LevelWeightsChangeTheWinner) {
+  EvaluationConfig cfg;
+  cfg.platform = PlatformId::SunEthernet;
+  cfg.procs = 4;
+  cfg.apl.image_size = 128;
+  cfg.apl.mc_samples = 200'000;
+  cfg.apl.mc_rounds = 4;
+  cfg.apl.sort_keys = 50'000;
+  cfg.apl.fft_n = 32;
+  cfg.level_weights = {.tpl = 1.0, .apl = 0.0, .adl = 0.0};
+  const auto perf_only = evaluate_tools(cfg);
+  EXPECT_EQ(perf_only.front().tool, ToolKind::P4);
+
+  cfg.level_weights = {.tpl = 0.0, .apl = 0.0, .adl = 1.0};
+  const auto usability_only = evaluate_tools(cfg);
+  EXPECT_EQ(usability_only.front().tool, ToolKind::Pvm);  // best uniform ADL
+}
+
+TEST(Methodology, InvalidWeightsRejected) {
+  EvaluationConfig cfg;
+  cfg.level_weights = {.tpl = -1.0, .apl = 1.0, .adl = 1.0};
+  EXPECT_THROW(evaluate_tools(cfg), std::invalid_argument);
+  cfg.level_weights = {.tpl = 0.0, .apl = 0.0, .adl = 0.0};
+  EXPECT_THROW(evaluate_tools(cfg), std::invalid_argument);
+}
+
+TEST(Methodology, PvmTplScoreZeroWithoutGlobalSum) {
+  // "Not Available" disqualifies a tool at TPL, as in the paper's Table 4.
+  EXPECT_EQ(tpl_score(PlatformId::SunEthernet, ToolKind::Pvm, 4, 16384, 40000), 0.0);
+  EXPECT_GT(tpl_score(PlatformId::SunEthernet, ToolKind::P4, 4, 16384, 40000), 0.0);
+}
+
+TEST(Methodology, RankByPrimitiveShapes) {
+  const auto sr = rank_by_primitive(PlatformId::SunEthernet, Primitive::SendRecv, 4, 16384);
+  ASSERT_EQ(sr.size(), 3u);
+  EXPECT_EQ(sr[0], ToolKind::P4);
+  const auto gs = rank_by_primitive(PlatformId::SunEthernet, Primitive::GlobalSum, 4, 160000);
+  ASSERT_EQ(gs.size(), 2u);  // PVM omitted
+  EXPECT_EQ(gs[0], ToolKind::P4);
+  EXPECT_EQ(gs[1], ToolKind::Express);
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalClocks) {
+  for (ToolKind tool : mp::all_tools()) {
+    const double a = sendrecv_ms(PlatformId::SunAtmWan, tool, 8192);
+    const double b = sendrecv_ms(PlatformId::SunAtmWan, tool, 8192);
+    EXPECT_EQ(a, b) << mp::to_string(tool);
+  }
+  const double x = app_time_s(PlatformId::AlphaFddi, ToolKind::Pvm, AppKind::Psrs, 4);
+  const double y = app_time_s(PlatformId::AlphaFddi, ToolKind::Pvm, AppKind::Psrs, 4);
+  EXPECT_EQ(x, y);
+}
+
+}  // namespace
+}  // namespace pdc::eval

@@ -1,0 +1,104 @@
+// Numerical-class SU PDABS applications (paper Table 2): dense matrix
+// multiplication and LU decomposition -- serial correctness plus
+// distributed == serial under every tool and several process counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/linalg/lu.hpp"
+#include "apps/linalg/matmul.hpp"
+#include "mp/api.hpp"
+
+namespace pdc::apps::linalg {
+namespace {
+
+using host::PlatformId;
+using mp::ToolKind;
+
+TEST(MatMul, SerialIdentityAndAssociativity) {
+  const int n = 8;
+  Mat a = make_test_matrix(n, 1);
+  Mat identity{n, std::vector<double>(static_cast<std::size_t>(n) * n, 0.0)};
+  for (int i = 0; i < n; ++i) identity.at(i, i) = 1.0;
+  EXPECT_LT(max_abs_diff(multiply_serial(a, identity), a), 1e-15);
+  EXPECT_LT(max_abs_diff(multiply_serial(identity, a), a), 1e-15);
+  // (A*I)*A == A*(I*A)
+  EXPECT_LT(max_abs_diff(multiply_serial(multiply_serial(a, identity), a),
+                         multiply_serial(a, multiply_serial(identity, a))),
+            1e-12);
+}
+
+TEST(MatMul, RejectsMismatchedSizes) {
+  const Mat a = make_test_matrix(4, 1);
+  const Mat b = make_test_matrix(8, 2);
+  EXPECT_THROW(multiply_serial(a, b), std::invalid_argument);
+  EXPECT_THROW((void)max_abs_diff(a, b), std::invalid_argument);
+}
+
+class LinalgTools : public ::testing::TestWithParam<ToolKind> {};
+INSTANTIATE_TEST_SUITE_P(AllTools, LinalgTools,
+                         ::testing::ValuesIn(mp::all_tools()),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST_P(LinalgTools, DistributedMatMulMatchesSerialBitExactly) {
+  const int n = 16;
+  const Mat a = make_test_matrix(n, 3);
+  const Mat b = make_test_matrix(n, 4);
+  const Mat expected = multiply_serial(a, b);
+  for (int procs : {1, 2, 4, 8}) {
+    Mat c;
+    auto program = [&](mp::Communicator& comm) -> sim::Task<void> {
+      co_await multiply_distributed(comm, a, b, comm.rank() == 0 ? &c : nullptr);
+    };
+    mp::run_spmd(PlatformId::Sp1Switch, procs, GetParam(), program);
+    ASSERT_EQ(c.n, n);
+    // Same operation order per row -> bit-identical to serial.
+    EXPECT_EQ(c.a, expected.a) << procs << " procs";
+  }
+}
+
+TEST(Lu, SerialFactorsReconstruct) {
+  const Mat a = make_dd_matrix(12, 7);
+  const Mat lu = lu_serial(a);
+  EXPECT_LT(max_abs_diff(lu_reconstruct(lu), a), 1e-9);
+}
+
+TEST(Lu, ZeroPivotRejected) {
+  Mat a{2, {0.0, 1.0, 1.0, 0.0}};  // singular leading minor
+  EXPECT_THROW(lu_serial(a), std::domain_error);
+}
+
+TEST_P(LinalgTools, DistributedLuMatchesSerialBitExactly) {
+  const int n = 12;
+  const Mat a = make_dd_matrix(n, 9);
+  const Mat expected = lu_serial(a);
+  for (int procs : {1, 2, 3, 4}) {  // row-cyclic: any process count works
+    Mat lu;
+    auto program = [&](mp::Communicator& comm) -> sim::Task<void> {
+      co_await lu_distributed(comm, a, comm.rank() == 0 ? &lu : nullptr);
+    };
+    mp::run_spmd(PlatformId::AlphaFddi, procs, GetParam(), program);
+    ASSERT_EQ(lu.n, n);
+    EXPECT_EQ(lu.a, expected.a) << procs << " procs";
+  }
+}
+
+TEST(Lu, ScalingRegimesMatchCommunicationStructure) {
+  // LU broadcasts one pivot row per step, so small systems are
+  // communication-bound (parallel slower than serial) while large systems
+  // amortise the broadcasts and speed up -- the classic surface-to-volume
+  // crossover.
+  auto timed = [](int n, int procs) {
+    const Mat a = make_dd_matrix(n, 11);
+    auto program = [&](mp::Communicator& comm) -> sim::Task<void> {
+      co_await lu_distributed(comm, a, nullptr);
+    };
+    return mp::run_spmd(PlatformId::AlphaFddi, procs, ToolKind::P4, program)
+        .elapsed.seconds();
+  };
+  EXPECT_GT(timed(64, 4), timed(64, 1));   // tiny system: comm dominates
+  EXPECT_LT(timed(384, 4), timed(384, 1));  // large system: compute dominates
+}
+
+}  // namespace
+}  // namespace pdc::apps::linalg

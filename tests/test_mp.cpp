@@ -1,0 +1,315 @@
+// Tests for the message-passing layer: point-to-point semantics per tool,
+// collectives correctness, daemon routing, pack/unpack, and the SPMD driver.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mp/api.hpp"
+#include "mp/communicator.hpp"
+#include "mp/native.hpp"
+#include "mp/pack.hpp"
+
+namespace pdc::mp {
+namespace {
+
+using host::PlatformId;
+
+class ToolFixture : public ::testing::TestWithParam<ToolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTools, ToolFixture,
+                         ::testing::Values(ToolKind::P4, ToolKind::Pvm, ToolKind::Express),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(Pack, RoundTripVectors) {
+  std::vector<double> v{1.5, -2.25, 1e100};
+  auto p = pack_vector(v);
+  EXPECT_EQ(unpack_vector<double>(*p), v);
+
+  Packer pk;
+  pk.put<std::int32_t>(7);
+  pk.put_span<std::int64_t>(std::vector<std::int64_t>{10, 20, 30});
+  pk.put<double>(2.5);
+  auto payload = pk.finish();
+  Unpacker u(*payload);
+  EXPECT_EQ(u.get<std::int32_t>(), 7);
+  EXPECT_EQ(u.get_vector<std::int64_t>(), (std::vector<std::int64_t>{10, 20, 30}));
+  EXPECT_DOUBLE_EQ(u.get<double>(), 2.5);
+  EXPECT_EQ(u.remaining(), 0u);
+}
+
+TEST(Pack, UnpackerRejectsTruncation) {
+  Bytes b(3);
+  Unpacker u(b);
+  EXPECT_THROW((void)u.get<std::int64_t>(), std::out_of_range);
+  EXPECT_THROW(unpack_vector<double>(b), std::invalid_argument);
+}
+
+TEST_P(ToolFixture, PingPongDeliversPayloadIntact) {
+  std::vector<std::int32_t> echoed;
+  auto program = [&echoed](Communicator& c) -> sim::Task<void> {
+    if (c.rank() == 0) {
+      std::vector<std::int32_t> data(1000);
+      std::iota(data.begin(), data.end(), 0);
+      co_await c.send(1, 17, pack_vector(data));
+      Message m = co_await c.recv(1, 18);
+      echoed = unpack_vector<std::int32_t>(*m.data);
+    } else {
+      Message m = co_await c.recv(0, 17);
+      co_await c.send(0, 18, m.data);
+    }
+  };
+  auto out = run_spmd(PlatformId::SunEthernet, 2, GetParam(), program);
+  ASSERT_EQ(echoed.size(), 1000u);
+  EXPECT_EQ(echoed[999], 999);
+  EXPECT_GT(out.elapsed, sim::Duration::zero());
+  EXPECT_GE(out.messages, 2u);
+}
+
+TEST_P(ToolFixture, TagAndSourceMatching) {
+  std::vector<int> order;
+  auto program = [&order](Communicator& c) -> sim::Task<void> {
+    if (c.rank() == 0) {
+      co_await c.send(1, 5, empty_payload());
+      co_await c.send(1, 6, empty_payload());
+    } else if (c.rank() == 2) {
+      co_await c.send(1, 5, empty_payload());
+    } else {
+      // Receive tag 6 first even though tag 5 arrives first.
+      Message a = co_await c.recv(kAnySource, 6);
+      order.push_back(a.tag);
+      Message b = co_await c.recv(2, 5);
+      order.push_back(b.src);
+      Message d = co_await c.recv(0, kAnyTag);
+      order.push_back(d.tag);
+    }
+  };
+  run_spmd(PlatformId::AlphaFddi, 3, GetParam(), program);
+  EXPECT_EQ(order, (std::vector<int>{6, 2, 5}));
+}
+
+TEST_P(ToolFixture, BroadcastReachesEveryRank) {
+  constexpr int kProcs = 7;  // deliberately not a power of two
+  std::vector<std::vector<std::int32_t>> got(kProcs);
+  auto program = [&got](Communicator& c) -> sim::Task<void> {
+    Bytes data;
+    if (c.rank() == 2) {
+      std::vector<std::int32_t> v{1, 2, 3, 4, 5};
+      data = *pack_vector(v);
+    }
+    co_await c.broadcast(2, data, 99);
+    got[static_cast<std::size_t>(c.rank())] = unpack_vector<std::int32_t>(data);
+  };
+  run_spmd(PlatformId::AlphaFddi, kProcs, GetParam(), program);
+  for (const auto& v : got) EXPECT_EQ(v, (std::vector<std::int32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_P(ToolFixture, BarrierSynchronises) {
+  constexpr int kProcs = 5;
+  std::vector<double> release_times(kProcs, -1);
+  auto program = [&release_times](Communicator& c) -> sim::Task<void> {
+    // Rank r works r*10 ms, then everyone meets at the barrier.
+    co_await c.sim().delay(sim::milliseconds(10) * c.rank());
+    co_await c.barrier();
+    release_times[static_cast<std::size_t>(c.rank())] = c.sim().now().seconds();
+  };
+  run_spmd(PlatformId::AlphaFddi, kProcs, GetParam(), program);
+  // Nobody leaves the barrier before the slowest rank arrived (40 ms).
+  for (double t : release_times) EXPECT_GE(t, 0.040);
+}
+
+TEST_P(ToolFixture, BarrierRepeatsBackToBack) {
+  auto program = [](Communicator& c) -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) co_await c.barrier();
+  };
+  auto out = run_spmd(PlatformId::SunAtmLan, 4, GetParam(), program);
+  EXPECT_GT(out.elapsed, sim::Duration::zero());
+}
+
+TEST_P(ToolFixture, SelfSendLoopsBack) {
+  bool ok = false;
+  auto program = [&ok](Communicator& c) -> sim::Task<void> {
+    if (c.rank() == 0) {
+      std::vector<double> v{3.25};
+      co_await c.send(0, 1, pack_vector(v));
+      Message m = co_await c.recv(0, 1);
+      ok = unpack_vector<double>(*m.data)[0] == 3.25;
+    }
+    co_return;
+  };
+  run_spmd(PlatformId::SunEthernet, 2, GetParam(), program);
+  EXPECT_TRUE(ok);
+}
+
+TEST(GlobalSum, P4AndExpressComputeExactSums) {
+  for (ToolKind kind : {ToolKind::P4, ToolKind::Express}) {
+    for (int procs : {2, 3, 4, 7, 8}) {
+      std::vector<std::vector<double>> results(static_cast<std::size_t>(procs));
+      auto program = [&results, procs](Communicator& c) -> sim::Task<void> {
+        std::vector<double> v(16);
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          v[i] = static_cast<double>(c.rank() + 1) * static_cast<double>(i);
+        }
+        co_await c.global_sum(v);
+        results[static_cast<std::size_t>(c.rank())] = v;
+        (void)procs;
+      };
+      run_spmd(PlatformId::AlphaFddi, procs, kind, program);
+      const double rank_sum = procs * (procs + 1) / 2.0;
+      for (const auto& v : results) {
+        ASSERT_EQ(v.size(), 16u);
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          EXPECT_DOUBLE_EQ(v[i], rank_sum * static_cast<double>(i))
+              << to_string(kind) << " procs=" << procs << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GlobalSum, IntVectorsSupported) {
+  std::vector<std::int32_t> result;
+  auto program = [&result](Communicator& c) -> sim::Task<void> {
+    std::vector<std::int32_t> v{1, 2, 3};
+    co_await c.global_sum(v);
+    if (c.rank() == 0) result = v;
+  };
+  run_spmd(PlatformId::SunEthernet, 4, ToolKind::P4, program);
+  EXPECT_EQ(result, (std::vector<std::int32_t>{4, 8, 12}));
+}
+
+TEST(GlobalSum, PvmLacksGlobalOps) {
+  // As in the paper: "PVM does not support any global operation".
+  auto program = [](Communicator& c) -> sim::Task<void> {
+    std::vector<double> v{1.0};
+    co_await c.global_sum(v);
+  };
+  EXPECT_THROW(run_spmd(PlatformId::SunEthernet, 2, ToolKind::Pvm, program), ToolUnsupported);
+}
+
+TEST(Semantics, PvmSendIsAsynchronousP4Blocks) {
+  // Measure the sender-side cost of one 64 KB send with no receiver
+  // processing: PVM's fire-and-forget returns well before p4's blocking
+  // send on the same platform.
+  auto sender_cost = [](ToolKind kind) {
+    sim::Duration cost{};
+    auto program = [&cost](Communicator& c) -> sim::Task<void> {
+      if (c.rank() == 0) {
+        Bytes big(65536);
+        const auto t0 = c.sim().now();
+        co_await c.send(1, 1, make_payload(std::move(big)));
+        cost = c.sim().now() - t0;
+      } else {
+        (void)co_await c.recv(0, 1);
+      }
+    };
+    run_spmd(PlatformId::SunEthernet, 2, kind, program);
+    return cost;
+  };
+  EXPECT_LT(sender_cost(ToolKind::Pvm), sender_cost(ToolKind::P4));
+}
+
+TEST(Semantics, DaemonRoutingUsedOnlyByPvm) {
+  auto daemon_requests = [](ToolKind kind) {
+    sim::Simulation simulation;
+    host::Cluster cluster(simulation, PlatformId::SunEthernet, 2);
+    Runtime rt(cluster, kind);
+    auto program = [](Communicator& c) -> sim::Task<void> {
+      if (c.rank() == 0) {
+        co_await c.send(1, 1, make_payload(Bytes(100)));
+      } else {
+        (void)co_await c.recv(0, 1);
+      }
+    };
+    for (int r = 0; r < 2; ++r) simulation.spawn(program(rt.comm(r)));
+    simulation.run();
+    return rt.daemon(0).requests() + rt.daemon(1).requests();
+  };
+  EXPECT_GT(daemon_requests(ToolKind::Pvm), 0u);
+  EXPECT_EQ(daemon_requests(ToolKind::P4), 0u);
+  EXPECT_EQ(daemon_requests(ToolKind::Express), 0u);
+}
+
+TEST(Semantics, MessagesArriveInOrderBetweenPairs) {
+  std::vector<int> seen;
+  auto program = [&seen](Communicator& c) -> sim::Task<void> {
+    constexpr int kN = 20;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        std::vector<std::int32_t> v{i};
+        co_await c.send(1, 7, pack_vector(v));
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        Message m = co_await c.recv(0, 7);
+        seen.push_back(unpack_vector<std::int32_t>(*m.data)[0]);
+      }
+    }
+  };
+  for (ToolKind kind : all_tools()) {
+    seen.clear();
+    run_spmd(PlatformId::SunAtmLan, 2, kind, program);
+    ASSERT_EQ(seen.size(), 20u) << to_string(kind);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Native, VeneersExerciseSamePaths) {
+  bool ok = false;
+  auto program = [&ok](Communicator& c) -> sim::Task<void> {
+    if (c.runtime().kind() == ToolKind::Pvm) {
+      native::Pvm pvm(c);
+      if (c.rank() == 0) {
+        pvm.pvm_initsend();
+        std::vector<std::int32_t> v{5, 6};
+        pvm.pvm_pk<std::int32_t>(v);
+        co_await pvm.pvm_send(1, 3);
+        co_await pvm.pvm_barrier();
+      } else {
+        Message m = co_await pvm.pvm_recv(0, 3);
+        Unpacker u(*m.data);
+        ok = u.get_vector<std::int32_t>() == std::vector<std::int32_t>{5, 6};
+        co_await pvm.pvm_barrier();
+      }
+    }
+    co_return;
+  };
+  run_spmd(PlatformId::SunEthernet, 2, ToolKind::Pvm, program);
+  EXPECT_TRUE(ok);
+
+  bool ok2 = false;
+  auto program2 = [&ok2](Communicator& c) -> sim::Task<void> {
+    native::Express ex{c};
+    if (c.rank() == 0) {
+      std::vector<double> v{1.0};
+      co_await ex.exsend(9, 1, pack_vector(v));
+      co_await ex.exsync();
+    } else {
+      Message m = co_await ex.exreceive(9, 0);
+      ok2 = unpack_vector<double>(*m.data)[0] == 1.0;
+      co_await ex.exsync();
+    }
+  };
+  run_spmd(PlatformId::AlphaFddi, 2, ToolKind::Express, program2);
+  EXPECT_TRUE(ok2);
+}
+
+TEST(RunSpmd, ReportsCountersAndValidatesArgs) {
+  auto program = [](Communicator& c) -> sim::Task<void> {
+    if (c.rank() == 0) co_await c.send(1, 1, make_payload(Bytes(256)));
+    if (c.rank() == 1) (void)co_await c.recv();
+    co_return;
+  };
+  auto out = run_spmd(PlatformId::Sp1Switch, 2, ToolKind::P4, program);
+  EXPECT_EQ(out.messages, 1u);
+  EXPECT_EQ(out.payload_bytes, 256u);
+  EXPECT_GT(out.events, 0u);
+
+  auto bad = [](Communicator& c) -> sim::Task<void> {
+    co_await c.send(99, 1, empty_payload());
+  };
+  EXPECT_THROW(run_spmd(PlatformId::Sp1Switch, 2, ToolKind::P4, bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pdc::mp

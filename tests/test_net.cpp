@@ -1,0 +1,167 @@
+// Unit tests for network models and platform/host substrates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "host/platform.hpp"
+#include "net/shared_bus.hpp"
+#include "net/switched.hpp"
+#include "sim/simulation.hpp"
+
+namespace pdc {
+namespace {
+
+using host::PlatformId;
+
+TEST(CpuModel, CostScalesWithRates) {
+  const auto& alpha = host::platform_spec(PlatformId::AlphaFddi).cpu;
+  const auto& elc = host::platform_spec(PlatformId::SunEthernet).cpu;
+  // 1 Mflop on a 40 Mflop/s Alpha = 25 ms.
+  EXPECT_NEAR(alpha.compute(1e6).millis(), 25.0, 1e-6);
+  // The ELC is slower than the Alpha at everything.
+  EXPECT_GT(elc.compute(1e6), alpha.compute(1e6));
+  EXPECT_GT(elc.copy(1 << 20), alpha.copy(1 << 20));
+  EXPECT_GT(elc.os_crossing, alpha.os_crossing);
+  EXPECT_GT(elc.int_ops(1e6), alpha.int_ops(1e6));
+}
+
+TEST(SharedBus, SerializationMatchesLineRate) {
+  sim::Simulation simu;
+  net::SharedBusParams p;
+  p.per_frame_gap = sim::Duration::zero();
+  p.propagation = sim::Duration::zero();
+  p.frame_overhead_bytes = 0;
+  net::SharedBusNetwork bus(simu, "eth", p);
+  // 10 Mb/s => 1250 bytes per ms.
+  const auto t = bus.transfer(0, 1, 1250);
+  EXPECT_NEAR((t - sim::TimePoint::origin()).millis(), 1.0, 1e-9);
+}
+
+TEST(SharedBus, ConcurrentSendersSerialize) {
+  sim::Simulation simu;
+  net::SharedBusParams p;
+  net::SharedBusNetwork bus(simu, "eth", p);
+  const auto t1 = bus.transfer(0, 1, 10000);
+  const auto t2 = bus.transfer(2, 3, 10000);
+  // Second transfer cannot start before the first finishes (shared medium).
+  EXPECT_GE((t2 - t1).ns, ((t1 - sim::TimePoint::origin()) - p.propagation).ns);
+}
+
+TEST(SharedBus, ZeroByteMessageStillCostsAFrame) {
+  sim::Simulation simu;
+  net::SharedBusNetwork bus(simu, "eth", {});
+  const auto t = bus.transfer(0, 1, 0);
+  EXPECT_GT(t, sim::TimePoint::origin());
+  EXPECT_GT(bus.wire_bytes(0), 0);
+}
+
+TEST(Switched, DistinctPairsRunInParallel) {
+  sim::Simulation simu;
+  net::SwitchedParams p;
+  net::SwitchedNetwork sw(simu, "fddi", 4, p);
+  const auto t1 = sw.transfer(0, 1, 100000);
+  const auto t2 = sw.transfer(2, 3, 100000);
+  // Same size, disjoint ports: identical arrival times.
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(Switched, ManyToOneQueuesOnReceiverPort) {
+  sim::Simulation simu;
+  net::SwitchedParams p;
+  net::SwitchedNetwork sw(simu, "fddi", 4, p);
+  const auto t1 = sw.transfer(1, 0, 100000);
+  const auto t2 = sw.transfer(2, 0, 100000);
+  const auto t3 = sw.transfer(3, 0, 100000);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(Switched, SameSourceSerializesOnTxPort) {
+  sim::Simulation simu;
+  net::SwitchedParams p;
+  net::SwitchedNetwork sw(simu, "sw", 4, p);
+  const auto t1 = sw.transfer(0, 1, 100000);
+  const auto t2 = sw.transfer(0, 2, 100000);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(Switched, AtmCellTax) {
+  sim::Simulation simu;
+  net::SwitchedParams p;
+  p.cell_payload = 48;
+  p.cell_total = 53;
+  net::SwitchedNetwork atm(simu, "atm", 2, p);
+  // 1 byte payload + 8 byte AAL5 trailer -> 1 cell of 53 bytes.
+  EXPECT_EQ(atm.wire_bytes(1), 53);
+  // 40 bytes + trailer -> exactly one cell; 41 bytes -> two cells.
+  EXPECT_EQ(atm.wire_bytes(40), 53);
+  EXPECT_EQ(atm.wire_bytes(41), 2 * 53);
+  // Large messages: ~10.4% overhead.
+  EXPECT_NEAR(static_cast<double>(atm.wire_bytes(65536)) / 65536.0, 53.0 / 48.0, 0.01);
+}
+
+TEST(Switched, TrunkAddsCrossSiteCost) {
+  sim::Simulation simu;
+  net::SwitchedParams p;
+  p.trunk_split = 2;
+  p.trunk_rate_bps = 155e6;
+  net::SwitchedNetwork wan(simu, "wan", 4, p);
+
+  sim::Simulation simu2;
+  net::SwitchedParams p2 = p;
+  p2.trunk_split.reset();
+  net::SwitchedNetwork lan(simu2, "lan", 4, p2);
+
+  const auto same_site = lan.transfer(0, 1, 65536);
+  const auto cross_site = wan.transfer(0, 2, 65536);
+  EXPECT_GT(cross_site, same_site);
+  // Within a site, the WAN behaves like the LAN.
+  EXPECT_EQ(wan.transfer(0, 1, 65536), lan.transfer(0, 1, 65536));
+}
+
+TEST(Switched, RejectsBadNodeIds) {
+  sim::Simulation simu;
+  net::SwitchedNetwork sw(simu, "sw", 2, {});
+  EXPECT_THROW(sw.transfer(0, 5, 100), std::out_of_range);
+  EXPECT_THROW(sw.transfer(-1, 0, 100), std::out_of_range);
+}
+
+TEST(Platform, CatalogueMatchesPaper) {
+  EXPECT_EQ(host::all_platforms().size(), 6u);
+  EXPECT_STREQ(host::to_string(PlatformId::SunEthernet), "SUN/Ethernet");
+  EXPECT_STREQ(host::to_string(PlatformId::SunAtmWan), "SUN/ATM-WAN(NYNET)");
+  EXPECT_EQ(host::platform_spec(PlatformId::AlphaFddi).max_nodes, 8);
+  EXPECT_EQ(host::platform_spec(PlatformId::Sp1Switch).max_nodes, 16);
+  EXPECT_DOUBLE_EQ(host::platform_spec(PlatformId::AlphaFddi).cpu.clock_mhz, 150.0);
+}
+
+TEST(Platform, ClusterConstruction) {
+  sim::Simulation simu;
+  host::Cluster c(simu, PlatformId::AlphaFddi, 8);
+  EXPECT_EQ(c.size(), 8);
+  EXPECT_EQ(c.node(3).id(), 3);
+  EXPECT_GT(c.network().line_rate_bps(), 0.0);
+  EXPECT_THROW(host::Cluster(simu, PlatformId::SunAtmLan, 9), std::invalid_argument);
+  EXPECT_THROW(host::Cluster(simu, PlatformId::SunAtmLan, 0), std::invalid_argument);
+}
+
+TEST(Platform, NetworkRelativeSpeeds) {
+  // One 64 KB transfer, idle network: ATM LAN beats Ethernet by ~an order
+  // of magnitude; the SP-1 crossbar is the fastest wire.
+  auto one_transfer = [](PlatformId id) {
+    sim::Simulation simu;
+    host::Cluster c(simu, id, 4);
+    return (c.network().transfer(0, 1, 65536) - sim::TimePoint::origin()).seconds();
+  };
+  const double eth = one_transfer(PlatformId::SunEthernet);
+  const double atm = one_transfer(PlatformId::SunAtmLan);
+  const double fddi = one_transfer(PlatformId::AlphaFddi);
+  const double sp1 = one_transfer(PlatformId::Sp1Switch);
+  EXPECT_GT(eth, 5 * atm);
+  EXPECT_GT(eth, 5 * fddi);
+  EXPECT_LT(sp1, atm);
+  EXPECT_LT(sp1, fddi);
+}
+
+}  // namespace
+}  // namespace pdc

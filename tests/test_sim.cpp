@@ -1,0 +1,258 @@
+// Unit tests for the simulation kernel: time arithmetic, event ordering,
+// coroutine tasks, delays, mailboxes, resources, locks, RNG and stats.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace pdc::sim {
+namespace {
+
+TEST(Time, ArithmeticAndComparison) {
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1) + milliseconds(500), milliseconds(1500));
+  EXPECT_LT(microseconds(999), milliseconds(1));
+  EXPECT_EQ((TimePoint::origin() + seconds(2)) - seconds(1), TimePoint{1'000'000'000});
+  EXPECT_DOUBLE_EQ(milliseconds(250).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(from_seconds(1.5).millis(), 1500.0);
+  EXPECT_EQ(from_seconds(-0.5), milliseconds(-500));
+  EXPECT_EQ(3 * milliseconds(2), milliseconds(6));
+  EXPECT_EQ(milliseconds(7) / 2, microseconds(3500));
+}
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint{10}, [&] { order.push_back(1); });
+  q.push(TimePoint{5}, [&] { order.push_back(2); });
+  q.push(TimePoint{10}, [&] { order.push_back(3); });
+  q.push(TimePoint{5}, [&] { order.push_back(4); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 1, 3}));
+}
+
+TEST(Simulation, DelayAdvancesClock) {
+  Simulation sim;
+  TimePoint seen{};
+  sim.spawn([](Simulation& s, TimePoint& out) -> Task<> {
+    co_await s.delay(milliseconds(5));
+    co_await s.delay(microseconds(250));
+    out = s.now();
+  }(sim, seen));
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::origin() + microseconds(5250));
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<> {
+    co_await s.delay(milliseconds(-1));
+  }(sim));
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(Simulation, SpawnedProcessesInterleaveDeterministically) {
+  Simulation sim;
+  std::vector<std::string> log;
+  auto proc = [](Simulation& s, std::vector<std::string>& log, std::string name,
+                 Duration step) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(step);
+      log.push_back(name + std::to_string(i));
+    }
+  };
+  sim.spawn(proc(sim, log, "a", milliseconds(2)));
+  sim.spawn(proc(sim, log, "b", milliseconds(3)));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2", "b2"}));
+}
+
+TEST(Simulation, NestedTasksPropagateValuesAndExceptions) {
+  Simulation sim;
+  int result = 0;
+  auto leaf = [](Simulation& s) -> Task<int> {
+    co_await s.delay(milliseconds(1));
+    co_return 42;
+  };
+  sim.spawn([](Simulation& s, auto& leaf, int& out) -> Task<> {
+    out = co_await leaf(s);
+  }(sim, leaf, result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+
+  Simulation sim2;
+  auto thrower = [](Simulation& s) -> Task<int> {
+    co_await s.delay(milliseconds(1));
+    throw std::runtime_error("leaf failed");
+  };
+  bool caught = false;
+  sim2.spawn([](Simulation& s, auto& thrower, bool& caught) -> Task<> {
+    try {
+      (void)co_await thrower(s);
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  }(sim2, thrower, caught));
+  sim2.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulation, RootProcessExceptionSurfacesFromRun) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<> {
+    co_await s.delay(milliseconds(1));
+    throw std::logic_error("root failed");
+  }(sim), "failing");
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulation, DeadlockIsDetected) {
+  Simulation sim;
+  auto box = std::make_unique<Mailbox<int>>(sim);
+  sim.spawn([](Mailbox<int>& b) -> Task<> {
+    (void)co_await b.recv();  // nobody ever sends
+  }(*box), "starved");
+  EXPECT_THROW(sim.run(), DeadlockDetected);
+}
+
+TEST(Simulation, EventBudgetGuardsRunaways) {
+  Simulation sim;
+  sim.set_event_budget(100);
+  sim.spawn([](Simulation& s) -> Task<> {
+    for (;;) co_await s.delay(microseconds(1));
+  }(sim));
+  EXPECT_THROW(sim.run(), EventBudgetExceeded);
+}
+
+TEST(Mailbox, FifoAndMatcherSelection) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<int> got;
+  sim.spawn([](Simulation& s, Mailbox<int>& b, std::vector<int>& got) -> Task<> {
+    co_await s.delay(milliseconds(1));
+    b.push(7);
+    b.push(8);
+    b.push(9);
+    (void)got;
+    co_return;
+  }(sim, box, got), "producer");
+  sim.spawn([](Mailbox<int>& b, std::vector<int>& got) -> Task<> {
+    got.push_back(co_await b.recv([](const int& v) { return v % 2 == 1; }));
+    got.push_back(co_await b.recv([](const int& v) { return v % 2 == 1; }));
+    got.push_back(co_await b.recv());
+  }(box, got), "consumer");
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{7, 9, 8}));
+}
+
+TEST(Mailbox, WaiterWokenOnPush) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  TimePoint when{};
+  sim.spawn([](Simulation& s, Mailbox<int>& b, TimePoint& when) -> Task<> {
+    const int v = co_await b.recv();
+    EXPECT_EQ(v, 5);
+    when = s.now();
+  }(sim, box, when));
+  sim.spawn([](Simulation& s, Mailbox<int>& b) -> Task<> {
+    co_await s.delay(milliseconds(3));
+    b.push(5);
+  }(sim, box));
+  sim.run();
+  EXPECT_EQ(when, TimePoint::origin() + milliseconds(3));
+}
+
+TEST(Mailbox, TryRecvAndPoll) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  EXPECT_FALSE(box.poll());
+  EXPECT_EQ(box.try_recv(), std::nullopt);
+  box.push(3);
+  EXPECT_TRUE(box.poll());
+  EXPECT_FALSE(box.poll([](const int& v) { return v > 5; }));
+  EXPECT_EQ(box.try_recv().value(), 3);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(SerialResource, BusyUntilQueueing) {
+  Simulation sim;
+  SerialResource res(sim, "dev");
+  EXPECT_EQ(res.reserve(milliseconds(10)), TimePoint::origin() + milliseconds(10));
+  EXPECT_EQ(res.reserve(milliseconds(5)), TimePoint::origin() + milliseconds(15));
+  EXPECT_EQ(res.busy_time(), milliseconds(15));
+  EXPECT_EQ(res.requests(), 2u);
+}
+
+TEST(SerialResource, ReserveFromFutureStart) {
+  Simulation sim;
+  SerialResource res(sim, "dev");
+  // Idle resource, window starting in the future.
+  EXPECT_EQ(res.reserve_from(TimePoint{1000}, Duration{500}), TimePoint{1500});
+  // Busy resource dominates the future start.
+  EXPECT_EQ(res.reserve_from(TimePoint{1200}, Duration{100}), TimePoint{1600});
+  EXPECT_THROW(res.reserve(Duration{-1}), std::invalid_argument);
+}
+
+TEST(FifoLock, MutualExclusionInFifoOrder) {
+  Simulation sim;
+  FifoLock lock(sim);
+  std::vector<int> order;
+  auto worker = [](Simulation& s, FifoLock& lock, std::vector<int>& order, int id,
+                   Duration hold) -> Task<> {
+    auto guard = co_await ScopedLock::take(lock);
+    order.push_back(id);
+    co_await s.delay(hold);
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(worker(sim, lock, order, i, milliseconds(2)));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(lock.locked());
+  EXPECT_EQ(sim.now(), TimePoint::origin() + milliseconds(6));
+}
+
+TEST(Rng, DeterministicAndSplittable) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c = a.split();
+  EXPECT_NE(a.next_u64(), c.next_u64());
+  Rng d(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const auto v = d.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformCoversRangeRoughly) {
+  Rng r(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[static_cast<std::size_t>(r.uniform(0, 9))];
+  for (int h : hits) EXPECT_GT(h, 800);
+}
+
+TEST(RunningStats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+}  // namespace
+}  // namespace pdc::sim
