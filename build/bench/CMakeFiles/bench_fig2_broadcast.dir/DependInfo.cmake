@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_broadcast.cpp" "bench/CMakeFiles/bench_fig2_broadcast.dir/bench_fig2_broadcast.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_broadcast.dir/bench_fig2_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pdc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/pdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pdc_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_globalsum.dir/bench_fig4_globalsum.cpp.o"
+  "CMakeFiles/bench_fig4_globalsum.dir/bench_fig4_globalsum.cpp.o.d"
+  "bench_fig4_globalsum"
+  "bench_fig4_globalsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_globalsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

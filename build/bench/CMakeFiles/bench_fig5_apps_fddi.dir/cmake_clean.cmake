@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_apps_fddi.dir/bench_fig5_apps_fddi.cpp.o"
+  "CMakeFiles/bench_fig5_apps_fddi.dir/bench_fig5_apps_fddi.cpp.o.d"
+  "bench_fig5_apps_fddi"
+  "bench_fig5_apps_fddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_apps_fddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_apps_atmwan.dir/bench_fig7_apps_atmwan.cpp.o"
+  "CMakeFiles/bench_fig7_apps_atmwan.dir/bench_fig7_apps_atmwan.cpp.o.d"
+  "bench_fig7_apps_atmwan"
+  "bench_fig7_apps_atmwan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_apps_atmwan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_apps_atmwan.
+# This may be replaced when dependencies are built.

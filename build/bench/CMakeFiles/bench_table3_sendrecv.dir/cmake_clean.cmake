@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sendrecv.dir/bench_table3_sendrecv.cpp.o"
+  "CMakeFiles/bench_table3_sendrecv.dir/bench_table3_sendrecv.cpp.o.d"
+  "bench_table3_sendrecv"
+  "bench_table3_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_usability.dir/bench_table5_usability.cpp.o"
+  "CMakeFiles/bench_table5_usability.dir/bench_table5_usability.cpp.o.d"
+  "bench_table5_usability"
+  "bench_table5_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_vs_lan.dir/wan_vs_lan.cpp.o"
+  "CMakeFiles/wan_vs_lan.dir/wan_vs_lan.cpp.o.d"
+  "wan_vs_lan"
+  "wan_vs_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_vs_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

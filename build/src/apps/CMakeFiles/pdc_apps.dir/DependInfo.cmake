@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft/fft.cpp" "src/apps/CMakeFiles/pdc_apps.dir/fft/fft.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/apps/fft/parallel.cpp" "src/apps/CMakeFiles/pdc_apps.dir/fft/parallel.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/fft/parallel.cpp.o.d"
+  "/root/repo/src/apps/jpeg/codec.cpp" "src/apps/CMakeFiles/pdc_apps.dir/jpeg/codec.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/jpeg/codec.cpp.o.d"
+  "/root/repo/src/apps/jpeg/parallel.cpp" "src/apps/CMakeFiles/pdc_apps.dir/jpeg/parallel.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/jpeg/parallel.cpp.o.d"
+  "/root/repo/src/apps/linalg/lu.cpp" "src/apps/CMakeFiles/pdc_apps.dir/linalg/lu.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/apps/linalg/matmul.cpp" "src/apps/CMakeFiles/pdc_apps.dir/linalg/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/linalg/matmul.cpp.o.d"
+  "/root/repo/src/apps/mc/montecarlo.cpp" "src/apps/CMakeFiles/pdc_apps.dir/mc/montecarlo.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/mc/montecarlo.cpp.o.d"
+  "/root/repo/src/apps/sort/psrs.cpp" "src/apps/CMakeFiles/pdc_apps.dir/sort/psrs.cpp.o" "gcc" "src/apps/CMakeFiles/pdc_apps.dir/sort/psrs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/pdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_apps.dir/fft/fft.cpp.o"
+  "CMakeFiles/pdc_apps.dir/fft/fft.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/fft/parallel.cpp.o"
+  "CMakeFiles/pdc_apps.dir/fft/parallel.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/jpeg/codec.cpp.o"
+  "CMakeFiles/pdc_apps.dir/jpeg/codec.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/jpeg/parallel.cpp.o"
+  "CMakeFiles/pdc_apps.dir/jpeg/parallel.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/linalg/lu.cpp.o"
+  "CMakeFiles/pdc_apps.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/linalg/matmul.cpp.o"
+  "CMakeFiles/pdc_apps.dir/linalg/matmul.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/mc/montecarlo.cpp.o"
+  "CMakeFiles/pdc_apps.dir/mc/montecarlo.cpp.o.d"
+  "CMakeFiles/pdc_apps.dir/sort/psrs.cpp.o"
+  "CMakeFiles/pdc_apps.dir/sort/psrs.cpp.o.d"
+  "libpdc_apps.a"
+  "libpdc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/apl.cpp" "src/eval/CMakeFiles/pdc_eval.dir/apl.cpp.o" "gcc" "src/eval/CMakeFiles/pdc_eval.dir/apl.cpp.o.d"
+  "/root/repo/src/eval/criteria.cpp" "src/eval/CMakeFiles/pdc_eval.dir/criteria.cpp.o" "gcc" "src/eval/CMakeFiles/pdc_eval.dir/criteria.cpp.o.d"
+  "/root/repo/src/eval/methodology.cpp" "src/eval/CMakeFiles/pdc_eval.dir/methodology.cpp.o" "gcc" "src/eval/CMakeFiles/pdc_eval.dir/methodology.cpp.o.d"
+  "/root/repo/src/eval/tpl.cpp" "src/eval/CMakeFiles/pdc_eval.dir/tpl.cpp.o" "gcc" "src/eval/CMakeFiles/pdc_eval.dir/tpl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/pdc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/pdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_eval.dir/apl.cpp.o"
+  "CMakeFiles/pdc_eval.dir/apl.cpp.o.d"
+  "CMakeFiles/pdc_eval.dir/criteria.cpp.o"
+  "CMakeFiles/pdc_eval.dir/criteria.cpp.o.d"
+  "CMakeFiles/pdc_eval.dir/methodology.cpp.o"
+  "CMakeFiles/pdc_eval.dir/methodology.cpp.o.d"
+  "CMakeFiles/pdc_eval.dir/tpl.cpp.o"
+  "CMakeFiles/pdc_eval.dir/tpl.cpp.o.d"
+  "libpdc_eval.a"
+  "libpdc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

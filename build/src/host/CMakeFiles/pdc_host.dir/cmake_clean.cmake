@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_host.dir/platform.cpp.o"
+  "CMakeFiles/pdc_host.dir/platform.cpp.o.d"
+  "libpdc_host.a"
+  "libpdc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

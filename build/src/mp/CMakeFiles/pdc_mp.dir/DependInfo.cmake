@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/api.cpp" "src/mp/CMakeFiles/pdc_mp.dir/api.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/api.cpp.o.d"
+  "/root/repo/src/mp/communicator.cpp" "src/mp/CMakeFiles/pdc_mp.dir/communicator.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/communicator.cpp.o.d"
+  "/root/repo/src/mp/profile.cpp" "src/mp/CMakeFiles/pdc_mp.dir/profile.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/profile.cpp.o.d"
+  "/root/repo/src/mp/runtime.cpp" "src/mp/CMakeFiles/pdc_mp.dir/runtime.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/pdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

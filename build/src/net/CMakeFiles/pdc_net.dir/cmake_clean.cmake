@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_net.dir/shared_bus.cpp.o"
+  "CMakeFiles/pdc_net.dir/shared_bus.cpp.o.d"
+  "CMakeFiles/pdc_net.dir/switched.cpp.o"
+  "CMakeFiles/pdc_net.dir/switched.cpp.o.d"
+  "libpdc_net.a"
+  "libpdc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pdc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pdc_sim.dir/resource.cpp.o"
+  "CMakeFiles/pdc_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/pdc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/pdc_sim.dir/simulation.cpp.o.d"
+  "libpdc_sim.a"
+  "libpdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
