@@ -1,8 +1,11 @@
 // Regenerates paper Figure 2: broadcast timing among 4 SUN workstations
 // over Ethernet (PVM, p4, Express) and over the ATM WAN / NYNET (PVM, p4 --
-// the paper does not plot Express on ATM).
+// the paper does not plot Express on ATM). Cells are measured through the
+// parallel sweep runner; values are bit-identical to a serial loop.
 #include <cstdio>
+#include <vector>
 
+#include "eval/sweep.hpp"
 #include "eval/tpl.hpp"
 
 int main() {
@@ -11,19 +14,31 @@ int main() {
   using mp::ToolKind;
   constexpr int kProcs = 4;
 
-  std::printf("Figure 2: broadcast timing using %d SUNs (milliseconds)\n\n", kProcs);
+  std::vector<eval::TplCell> cells;
+  for (std::int64_t bytes : eval::paper_message_sizes()) {
+    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4, ToolKind::Express}) {
+      cells.push_back(
+          {eval::Primitive::Broadcast, PlatformId::SunEthernet, t, bytes, kProcs, 0});
+    }
+    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4}) {
+      cells.push_back(
+          {eval::Primitive::Broadcast, PlatformId::SunAtmWan, t, bytes, kProcs, 0});
+    }
+  }
+  const std::vector<std::optional<double>> ms = eval::sweep_tpl_ms(cells);
+
+  std::printf("Figure 2: broadcast timing using %d SUNs (milliseconds)"
+              " (sweep: %u threads, %zu cells)\n\n",
+              kProcs, eval::sweep_threads(), cells.size());
   std::printf("%8s |%28s |%19s\n", "", "Ethernet", "ATM WAN (NYNET)");
   std::printf("%8s |%9s %9s %8s |%9s %9s\n", "KB", "PVM", "p4", "Express", "PVM", "p4");
   std::printf("---------+-----------------------------+--------------------\n");
+  std::size_t next = 0;
   for (std::int64_t bytes : eval::paper_message_sizes()) {
     std::printf("%8lld |", static_cast<long long>(bytes) / 1024);
-    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4, ToolKind::Express}) {
-      std::printf(" %9.2f", eval::broadcast_ms(PlatformId::SunEthernet, t, kProcs, bytes));
-    }
+    for (int i = 0; i < 3; ++i) std::printf(" %9.2f", ms[next++].value());
     std::printf(" |");
-    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4}) {
-      std::printf(" %9.2f", eval::broadcast_ms(PlatformId::SunAtmWan, t, kProcs, bytes));
-    }
+    for (int i = 0; i < 2; ++i) std::printf(" %9.2f", ms[next++].value());
     std::printf("\n");
   }
   std::printf("\nExpected shape (paper): p4 best, Express worst on Ethernet; the\n"

@@ -1,8 +1,12 @@
 // Wall-clock performance of the simulator itself (google-benchmark), plus
-// the two ablations DESIGN.md calls out: coroutine scheduling overhead and
-// the cost of contention modelling.
+// the ablations DESIGN.md calls out: coroutine scheduling overhead, the
+// event-kind mix (coroutine resumes vs callable events), the event queue's
+// fast-lane hit rate, and parallel sweep scaling.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "eval/sweep.hpp"
 #include "eval/tpl.hpp"
 #include "mp/api.hpp"
 #include "mp/pack.hpp"
@@ -29,10 +33,30 @@ void BM_EventLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
 
+// Adversarial event order: times pushed high-to-low so every push misses the
+// sorted run and pays a heap sift -- the queue's worst case.
+void BM_EventLoopReversed(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation simu;
+    int counter = 0;
+    for (int i = events; i > 0; --i) {
+      simu.schedule_at(sim::TimePoint{i}, [&counter] { ++counter; });
+    }
+    simu.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoopReversed)->Arg(1000)->Arg(100000);
+
 // Coroutine ablation: ping-pong between two processes through a mailbox --
-// measures suspend/resume + matching overhead per message.
+// measures suspend/resume + matching overhead per message. Also reports the
+// event queue's fast-lane hit rate (same-time resumes that bypassed both
+// the sorted run and the heap).
 void BM_CoroutinePingPong(benchmark::State& state) {
   const int rounds = static_cast<int>(state.range(0));
+  double lane_rate = 0.0;
   for (auto _ : state) {
     sim::Simulation simu;
     sim::Mailbox<int> a(simu), b(simu);
@@ -51,10 +75,40 @@ void BM_CoroutinePingPong(benchmark::State& state) {
     simu.spawn(ping(a, b, rounds));
     simu.spawn(pong(b, a, rounds));
     simu.run();
+    const auto& qs = simu.queue_stats();
+    const double total =
+        static_cast<double>(qs.lane_pushes + qs.run_pushes + qs.heap_pushes);
+    if (total > 0) lane_rate = static_cast<double>(qs.lane_pushes) / total;
   }
   state.SetItemsProcessed(state.iterations() * rounds * 2);
+  state.counters["fast_lane_rate"] = lane_rate;
 }
 BENCHMARK(BM_CoroutinePingPong)->Arg(1000)->Arg(10000);
+
+// Event-kind-mix ablation: one coroutine ticking through simulated time
+// with `Arg` plain callable events scheduled per tick. Arg=0 is the pure
+// resume path; higher Args shift the mix toward type-erased callables.
+void BM_EventKindMix(benchmark::State& state) {
+  const int callables_per_tick = static_cast<int>(state.range(0));
+  constexpr int kTicks = 2000;
+  for (auto _ : state) {
+    sim::Simulation simu;
+    long counter = 0;
+    auto ticker = [](sim::Simulation& s, long& counter, int per_tick) -> sim::Task<> {
+      for (int t = 0; t < kTicks; ++t) {
+        for (int c = 0; c < per_tick; ++c) {
+          s.schedule_in(sim::Duration{1}, [&counter] { ++counter; });
+        }
+        co_await s.delay(sim::Duration{2});
+      }
+    };
+    simu.spawn(ticker(simu, counter, callables_per_tick));
+    simu.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * kTicks * (1 + callables_per_tick));
+}
+BENCHMARK(BM_EventKindMix)->Arg(0)->Arg(1)->Arg(4);
 
 // Full-stack message rate: simulated 1 KB messages through a tool runtime.
 void BM_ToolMessageThroughput(benchmark::State& state) {
@@ -88,6 +142,29 @@ void BM_Table3Cell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Table3Cell);
+
+// Sweep scaling: the full Table 3 snd/recv grid (64 cells) fanned over
+// `Arg` worker threads. Arg=1 is the serial baseline; wall-clock speedup
+// tops out at the machine's core count, while results stay bit-identical.
+void BM_SweepTable3(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::vector<eval::TplCell> cells;
+  for (std::int64_t bytes : eval::paper_message_sizes()) {
+    for (mp::ToolKind tool : {mp::ToolKind::Pvm, mp::ToolKind::P4, mp::ToolKind::Express}) {
+      for (host::PlatformId p : {host::PlatformId::SunEthernet, host::PlatformId::SunAtmLan,
+                                 host::PlatformId::SunAtmWan}) {
+        if (tool == mp::ToolKind::Express && p == host::PlatformId::SunAtmWan) continue;
+        cells.push_back({eval::Primitive::SendRecv, p, tool, bytes, 2, 0});
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto ms = eval::sweep_tpl_ms(cells, threads);
+    benchmark::DoNotOptimize(ms.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SweepTable3)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

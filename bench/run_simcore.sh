@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate BENCH_simcore.json (kernel microbenchmark numbers) at the repo
+# root. Equivalent to `cmake --build build --target bench-json`.
+set -eu
+root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+
+cmake --build "$build" --target bench_simcore -j
+"$build/bench/bench_simcore" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
+  --benchmark_out="$root/BENCH_simcore.json" \
+  --benchmark_out_format=json
+echo "wrote $root/BENCH_simcore.json"

@@ -1,6 +1,7 @@
 #include "eval/apl.hpp"
 
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "apps/fft/parallel.hpp"
@@ -35,8 +36,12 @@ namespace {
 
 /// The JPEG input is deterministic and reused across every run; building it
 /// per run would only add host wall time, not change simulated results.
+/// Mutex-guarded so parallel sweep cells can share the cache; map node
+/// references stay valid across later insertions.
 const apps::jpeg::Image& cached_image(int size, std::uint64_t seed) {
+  static std::mutex mu;
   static std::map<std::pair<int, std::uint64_t>, apps::jpeg::Image> cache;
+  const std::scoped_lock lock(mu);
   auto [it, inserted] = cache.try_emplace({size, seed});
   if (inserted) it->second = apps::jpeg::make_test_image(size, size, seed);
   return it->second;

@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "eval/sweep.hpp"
+
 namespace pdc::eval {
 
 namespace {
@@ -79,17 +81,22 @@ std::vector<ToolEvaluation> evaluate_tools(const EvaluationConfig& cfg) {
   const double wsum = w.tpl + w.apl + w.adl;
   if (wsum <= 0) throw std::invalid_argument("evaluate_tools: all level weights zero");
 
-  std::vector<ToolEvaluation> out;
-  for (mp::ToolKind tool : mp::all_tools()) {
-    ToolEvaluation e{};
-    e.tool = tool;
-    e.tpl_score =
-        tpl_score(cfg.platform, tool, cfg.procs, cfg.tpl_bytes, cfg.global_sum_ints);
-    e.apl_score = apl_score(cfg.platform, tool, cfg.procs, cfg.apl);
-    e.adl_score = adl_score(tool, cfg.adl_weights);
-    e.overall = (w.tpl * e.tpl_score + w.apl * e.apl_score + w.adl * e.adl_score) / wsum;
-    out.push_back(e);
-  }
+  // Each tool's evaluation is an independent batch of simulations; fan the
+  // tools across the sweep pool. Results land at the tool's own index, so
+  // the ranking is identical to the serial loop this replaced.
+  const auto& tools = mp::all_tools();
+  std::vector<ToolEvaluation> out = parallel_map<ToolEvaluation>(
+      tools.size(), [&](std::size_t i) {
+        const mp::ToolKind tool = tools[i];
+        ToolEvaluation e{};
+        e.tool = tool;
+        e.tpl_score =
+            tpl_score(cfg.platform, tool, cfg.procs, cfg.tpl_bytes, cfg.global_sum_ints);
+        e.apl_score = apl_score(cfg.platform, tool, cfg.procs, cfg.apl);
+        e.adl_score = adl_score(tool, cfg.adl_weights);
+        e.overall = (w.tpl * e.tpl_score + w.apl * e.apl_score + w.adl * e.adl_score) / wsum;
+        return e;
+      });
   std::sort(out.begin(), out.end(),
             [](const ToolEvaluation& a, const ToolEvaluation& b) { return a.overall > b.overall; });
   return out;

@@ -1,0 +1,91 @@
+#include "eval/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace pdc::eval {
+
+unsigned sweep_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PDC_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_index(std::size_t n, unsigned threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(n, static_cast<std::size_t>(sweep_threads(threads)));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(n);
+  auto worker = [&]() noexcept {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread works too
+  for (auto& t : pool) t.join();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);  // lowest failing index: deterministic
+    }
+  }
+}
+
+std::optional<double> tpl_cell_ms(const TplCell& cell) {
+  switch (cell.primitive) {
+    case Primitive::SendRecv:
+      return sendrecv_ms(cell.platform, cell.tool, cell.bytes);
+    case Primitive::Broadcast:
+      return broadcast_ms(cell.platform, cell.tool, cell.procs, cell.bytes);
+    case Primitive::Ring:
+      return ring_ms(cell.platform, cell.tool, cell.procs, cell.bytes);
+    case Primitive::GlobalSum:
+      return global_sum_ms(cell.platform, cell.tool, cell.procs, cell.global_sum_ints);
+  }
+  throw std::logic_error("tpl_cell_ms: unknown primitive");
+}
+
+std::vector<std::optional<double>> sweep_tpl_ms(const std::vector<TplCell>& cells,
+                                                unsigned threads) {
+  return parallel_map<std::optional<double>>(
+      cells.size(), [&](std::size_t i) { return tpl_cell_ms(cells[i]); }, threads);
+}
+
+double app_cell_s(const AppCell& cell, const AplConfig& cfg) {
+  return app_time_s(cell.platform, cell.tool, cell.app, cell.procs, cfg);
+}
+
+std::vector<double> sweep_app_s(const std::vector<AppCell>& cells, const AplConfig& cfg,
+                                unsigned threads) {
+  return parallel_map<double>(
+      cells.size(), [&](std::size_t i) { return app_cell_s(cells[i], cfg); }, threads);
+}
+
+}  // namespace pdc::eval

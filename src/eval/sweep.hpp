@@ -1,0 +1,81 @@
+// pdceval -- parallel experiment sweep runner.
+//
+// Whole-table regeneration (Table 3, Figures 2-8, the methodology ranking)
+// is hundreds of *independent, deterministic* simulations: each cell builds
+// its own Simulation/Cluster/Runtime and reports simulated time. The sweep
+// runner fans those cells across hardware threads with deterministic result
+// ordering -- results are written into a pre-sized vector at the cell's own
+// index, so the output is element-for-element identical to a serial loop
+// regardless of thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "eval/apl.hpp"
+#include "eval/criteria.hpp"
+#include "eval/tpl.hpp"
+#include "host/platform.hpp"
+#include "mp/tool.hpp"
+
+namespace pdc::eval {
+
+/// Worker threads a sweep will use: `requested` if > 0, else the
+/// PDC_SWEEP_THREADS environment variable if set, else
+/// std::thread::hardware_concurrency() (min 1).
+[[nodiscard]] unsigned sweep_threads(unsigned requested = 0);
+
+/// Run `body(i)` for every i in [0, n) across `threads` workers (see
+/// sweep_threads). Cells are claimed from a shared atomic counter; any
+/// exception is captured and the one thrown by the lowest cell index is
+/// rethrown after all workers drain, keeping failure behaviour
+/// deterministic too.
+void parallel_for_index(std::size_t n, unsigned threads,
+                        const std::function<void(std::size_t)>& body);
+
+/// Map i -> fn(i) over [0, n), results in index order.
+template <typename R, typename Fn>
+[[nodiscard]] std::vector<R> parallel_map(std::size_t n, Fn&& fn, unsigned threads = 0) {
+  std::vector<R> out(n);
+  parallel_for_index(n, threads, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// One TPL grid cell: a primitive measured on (platform, tool, msg_size,
+/// procs). `global_sum_ints` is the vector length for GlobalSum cells.
+struct TplCell {
+  Primitive primitive{Primitive::SendRecv};
+  host::PlatformId platform{host::PlatformId::SunEthernet};
+  mp::ToolKind tool{mp::ToolKind::P4};
+  std::int64_t bytes{0};
+  int procs{2};
+  std::int64_t global_sum_ints{0};
+};
+
+/// Measure one cell serially (simulated milliseconds); nullopt when the
+/// tool lacks the primitive (PVM's global sum).
+[[nodiscard]] std::optional<double> tpl_cell_ms(const TplCell& cell);
+
+/// Measure a whole grid, fanned across threads, results in cell order.
+[[nodiscard]] std::vector<std::optional<double>> sweep_tpl_ms(
+    const std::vector<TplCell>& cells, unsigned threads = 0);
+
+/// One APL grid cell: an application on (platform, tool, procs).
+struct AppCell {
+  host::PlatformId platform{host::PlatformId::AlphaFddi};
+  mp::ToolKind tool{mp::ToolKind::P4};
+  AppKind app{AppKind::Jpeg};
+  int procs{1};
+};
+
+/// Measure one cell serially (simulated seconds).
+[[nodiscard]] double app_cell_s(const AppCell& cell, const AplConfig& cfg = {});
+
+/// Measure a whole application grid, fanned across threads, in cell order.
+[[nodiscard]] std::vector<double> sweep_app_s(const std::vector<AppCell>& cells,
+                                              const AplConfig& cfg = {},
+                                              unsigned threads = 0);
+
+}  // namespace pdc::eval

@@ -52,8 +52,7 @@ sim::Duration Communicator::daemon_latency(std::int64_t bytes, sim::Duration ser
 }
 
 bool Communicator::probe(int src, int tag) {
-  return rt_.mailbox(rank_).poll(
-      [src, tag](const Message& m) { return m.matches(src, tag); });
+  return rt_.mailbox(rank_).poll(TagSourceMatch{src, tag});
 }
 
 sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
@@ -187,8 +186,7 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
 }
 
 sim::Task<Message> Communicator::recv(int src, int tag) {
-  Message m = co_await rt_.mailbox(rank_).recv(
-      [src, tag](const Message& mm) { return mm.matches(src, tag); });
+  Message m = co_await rt_.mailbox(rank_).recv(TagSourceMatch{src, tag});
   const auto& prof = profile();
   sim::Duration post = prof.recv_fixed;
   if (!prof.recv_in_background) {

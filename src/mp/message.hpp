@@ -44,4 +44,15 @@ struct Message {
   }
 };
 
+/// The (source, tag) wildcard match every tool's recv performs, as a named
+/// trivially-copyable predicate so mailbox matching never allocates.
+struct TagSourceMatch {
+  int src{kAnySource};
+  int tag{kAnyTag};
+
+  [[nodiscard]] bool operator()(const Message& m) const noexcept {
+    return m.matches(src, tag);
+  }
+};
+
 }  // namespace pdc::mp

@@ -8,19 +8,61 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
+#include <cstring>
 #include <deque>
-#include <functional>
 #include <optional>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "sim/simulation.hpp"
 
 namespace pdc::sim {
 
+/// Non-allocating match predicate: a function pointer plus a small inline
+/// context, copied by value. Constructible from any trivially-copyable
+/// callable of at most kCtxBytes (a captureless lambda, a `[src, tag]`
+/// capture, or a named POD like `mp::TagSourceMatch`). Replaces
+/// `std::function<bool(const T&)>`, which heap-allocated per recv.
+template <typename T>
+class MatchPred {
+ public:
+  static constexpr std::size_t kCtxBytes = 16;
+
+  MatchPred() noexcept = default;
+  MatchPred(std::nullptr_t) noexcept {}  // match-any, like an empty std::function
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, MatchPred> &&
+             std::is_invocable_r_v<bool, const std::remove_cvref_t<F>&, const T&>)
+  MatchPred(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kCtxBytes && std::is_trivially_copyable_v<Fn>,
+                  "matcher must be trivially copyable and at most kCtxBytes; "
+                  "wrap bigger state in a named predicate struct");
+    std::memcpy(ctx_, &f, sizeof(Fn));
+    fn_ = [](const void* ctx, const T& v) {
+      Fn fn;
+      std::memcpy(&fn, ctx, sizeof(Fn));
+      return static_cast<bool>(fn(v));
+    };
+  }
+
+  /// An empty predicate matches everything.
+  [[nodiscard]] bool operator()(const T& v) const { return fn_ == nullptr || fn_(ctx_, v); }
+  [[nodiscard]] explicit operator bool() const noexcept { return fn_ != nullptr; }
+
+ private:
+  using Fn = bool (*)(const void*, const T&);
+  Fn fn_{nullptr};
+  alignas(alignof(std::max_align_t)) unsigned char ctx_[kCtxBytes]{};
+};
+
 template <typename T>
 class Mailbox {
  public:
-  using Matcher = std::function<bool(const T&)>;
+  using Matcher = MatchPred<T>;
 
   explicit Mailbox(Simulation& sim) : sim_(sim) {}
   Mailbox(const Mailbox&) = delete;
@@ -30,11 +72,12 @@ class Mailbox {
   /// resumed (via the scheduler) with the item; otherwise the item queues.
   void push(T item) {
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-      if (!it->matcher || it->matcher(item)) {
-        Waiter w = std::move(*it);
+      if (it->matcher(item)) {
+        std::optional<T>* slot = it->slot;
+        const std::coroutine_handle<> handle = it->handle;
         waiters_.erase(it);
-        w.slot->emplace(std::move(item));
-        sim_.schedule_resume(sim_.now(), w.handle);
+        slot->emplace(std::move(item));
+        sim_.schedule_resume(sim_.now(), handle);
         return;
       }
     }
@@ -42,7 +85,7 @@ class Mailbox {
   }
 
   /// Awaitable receive. With no matcher, receives the oldest item.
-  [[nodiscard]] auto recv(Matcher matcher = nullptr) {
+  [[nodiscard]] auto recv(Matcher matcher = {}) {
     struct Awaiter {
       Mailbox& box;
       Matcher matcher;
@@ -57,15 +100,15 @@ class Mailbox {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        box.waiters_.push_back(Waiter{std::move(matcher), &slot, h});
+        box.waiters_.push_back(Waiter{matcher, &slot, h});
       }
       T await_resume() { return std::move(*slot); }
     };
-    return Awaiter{*this, std::move(matcher), std::nullopt};
+    return Awaiter{*this, matcher, std::nullopt};
   }
 
   /// Non-blocking probe: does a matching item sit in the queue?
-  [[nodiscard]] bool poll(const Matcher& matcher = nullptr) const {
+  [[nodiscard]] bool poll(const Matcher& matcher = {}) const {
     if (!matcher) return !queue_.empty();
     for (const auto& item : queue_) {
       if (matcher(item)) return true;
@@ -74,7 +117,7 @@ class Mailbox {
   }
 
   /// Non-blocking receive.
-  [[nodiscard]] std::optional<T> try_recv(const Matcher& matcher = nullptr) {
+  [[nodiscard]] std::optional<T> try_recv(const Matcher& matcher = {}) {
     return take_matching(matcher);
   }
 
@@ -89,8 +132,9 @@ class Mailbox {
   };
 
   std::optional<T> take_matching(const Matcher& matcher) {
+    if (queue_.empty()) return std::nullopt;
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (!matcher || matcher(*it)) {
+      if (matcher(*it)) {
         std::optional<T> out(std::move(*it));
         queue_.erase(it);
         return out;
@@ -101,7 +145,7 @@ class Mailbox {
 
   Simulation& sim_;
   std::deque<T> queue_;
-  std::deque<Waiter> waiters_;
+  std::vector<Waiter> waiters_;  // short; vector iteration beats deque here
 };
 
 }  // namespace pdc::sim

@@ -4,36 +4,25 @@
 
 namespace pdc::sim {
 
-void Simulation::schedule_at(TimePoint at, EventQueue::Action action) {
-  if (at < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
-  queue_.push(at, std::move(action));
-}
-
-void Simulation::schedule_in(Duration after, EventQueue::Action action) {
-  schedule_at(now_ + after, std::move(action));
-}
-
-void Simulation::schedule_resume(TimePoint at, std::coroutine_handle<> h) {
-  schedule_at(at, [h] { h.resume(); });
-}
-
 void Simulation::spawn(Task<> process, std::string name) {
   auto root = std::make_unique<RootProcess>(RootProcess{std::move(process), std::move(name)});
   auto handle = root->task.handle();
   roots_.push_back(std::move(root));
-  queue_.push(now_, [handle] { handle.resume(); });
+  queue_.push_now(now_, Event{handle});
 }
 
 TimePoint Simulation::run(TimePoint until) {
-  while (!queue_.empty() && queue_.next_time() <= until) {
+  TimePoint at{};
+  Event event;
+  while (queue_.pop_next(until, at, event)) {
     if (events_processed_ >= event_budget_) {
+      // Un-popping would reorder; the budget overrun is fatal anyway.
       throw EventBudgetExceeded("simulation exceeded event budget of " +
                                 std::to_string(event_budget_) + " events");
     }
-    now_ = queue_.next_time();
-    auto action = queue_.pop();
+    now_ = at;
     ++events_processed_;
-    action();
+    event();
   }
   // Surface process failures and deadlocks only once the queue has fully
   // drained -- a run() bounded by `until` may legitimately leave processes

@@ -41,12 +41,22 @@ class Simulation {
   [[nodiscard]] TimePoint now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
 
-  /// Schedule an arbitrary action at absolute time `at` (>= now()).
-  void schedule_at(TimePoint at, EventQueue::Action action);
-  /// Schedule an action `after` from now.
-  void schedule_in(Duration after, EventQueue::Action action);
-  /// Schedule a coroutine resume.
-  void schedule_resume(TimePoint at, std::coroutine_handle<> h);
+  /// Schedule an arbitrary event at absolute time `at` (>= now()). Events
+  /// at exactly now() take the queue's FIFO fast lane (no heap sift).
+  void schedule_at(TimePoint at, Event event) {
+    if (at < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
+    if (at == now_) {
+      queue_.push_now(at, std::move(event));
+    } else {
+      queue_.push(at, std::move(event));
+    }
+  }
+  /// Schedule an event `after` from now.
+  void schedule_in(Duration after, Event event) { schedule_at(now_ + after, std::move(event)); }
+  /// Schedule a coroutine resume (the kernel's non-allocating fast path).
+  void schedule_resume(TimePoint at, std::coroutine_handle<> h) {
+    schedule_at(at, Event{h});
+  }
 
   /// Launch a root process. It starts at the current simulated time (the
   /// start is itself an event, preserving FIFO order among spawns).
@@ -80,6 +90,9 @@ class Simulation {
 
   /// Maximum number of events run() may process before aborting.
   void set_event_budget(std::uint64_t budget) noexcept { event_budget_ = budget; }
+
+  /// Event-queue instrumentation (fast-lane vs heap push mix).
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const noexcept { return queue_.stats(); }
 
  private:
   struct RootProcess {

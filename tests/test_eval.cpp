@@ -135,6 +135,20 @@ TEST(Methodology, RankByPrimitiveShapes) {
   EXPECT_EQ(gs[1], ToolKind::Express);
 }
 
+TEST(Determinism, Table3GoldenCellsExactlyMatchPreOptimizationKernel) {
+  // Golden regression: these three Table 3 cells were captured (to full
+  // double precision) from the original std::function + binary-heap kernel.
+  // The zero-allocation Event / three-lane queue rewrite must reproduce the
+  // paper tables bit-for-bit, so any drift here is a determinism bug, not a
+  // tolerance issue -- hence EXPECT_DOUBLE_EQ on exact captured values.
+  EXPECT_DOUBLE_EQ(sendrecv_ms(PlatformId::SunEthernet, ToolKind::Pvm, 65536),
+                   202.50319999999999);
+  EXPECT_DOUBLE_EQ(sendrecv_ms(PlatformId::SunAtmLan, ToolKind::P4, 8192),
+                   6.7196720000000001);
+  EXPECT_DOUBLE_EQ(sendrecv_ms(PlatformId::SunEthernet, ToolKind::Express, 1024),
+                   8.0451999999999995);
+}
+
 TEST(Determinism, IdenticalRunsProduceIdenticalClocks) {
   for (ToolKind tool : mp::all_tools()) {
     const double a = sendrecv_ms(PlatformId::SunAtmWan, tool, 8192);

@@ -2,8 +2,12 @@
 // coroutine tasks, delays, mailboxes, resources, locks, RNG and stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -39,6 +43,124 @@ TEST(EventQueue, OrdersByTimeThenFifo) {
   q.push(TimePoint{5}, [&] { order.push_back(4); });
   while (!q.empty()) q.pop()();
   EXPECT_EQ(order, (std::vector<int>{2, 4, 1, 3}));
+}
+
+TEST(EventQueue, ReversedPushOrderStillSortsByTime) {
+  // Descending push times defeat both fast lanes; everything lands in the
+  // heap and must still come out time-ordered.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 100; i > 0; --i) {
+    q.push(TimePoint{i}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsFifoAmongEqualTimes) {
+  // Property test: under an interleaved stream of push / push_now / pop,
+  // the pop order must equal ascending (time, push index) no matter which
+  // internal lane (FIFO fast lane, sorted run, heap) each push lands in.
+  Rng rng(20260806);
+  EventQueue q;
+  std::vector<std::pair<std::int64_t, int>> model;  // (time.ns, push index)
+  std::vector<int> fired;
+  int next_id = 0;
+  TimePoint now{};
+  for (int round = 0; round < 600; ++round) {
+    const auto pushes = rng.uniform(0, 3);
+    for (std::uint64_t k = 0; k < pushes; ++k) {
+      const TimePoint t = now + Duration{static_cast<std::int64_t>(rng.uniform(0, 3))};
+      const int id = next_id++;
+      Event ev{[&fired, id] { fired.push_back(id); }};
+      if (t == now) {
+        q.push_now(t, std::move(ev));  // contract: t is the current min time
+      } else {
+        q.push(t, std::move(ev));
+      }
+      model.emplace_back(t.ns, id);
+    }
+    if (!q.empty() && rng.uniform(0, 2) > 0) {
+      TimePoint at{};
+      Event ev;
+      ASSERT_TRUE(q.pop_next(TimePoint{1'000'000}, at, ev));
+      EXPECT_GE(at, now);
+      now = at;
+      ev();
+    }
+  }
+  while (!q.empty()) q.pop()();
+  // Reference order: stable sort by time preserves push order among ties.
+  std::stable_sort(model.begin(), model.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(fired.size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) EXPECT_EQ(fired[i], model[i].second);
+}
+
+TEST(EventQueue, ClearResetsSequenceCounter) {
+  // After clear(), a rebuilt queue must reproduce the exact (time, seq)
+  // ordering of a fresh one -- same-time FIFO must not be perturbed by
+  // sequence numbers left over from before the clear.
+  const auto fill_and_drain = [](EventQueue& q) {
+    std::vector<int> order;
+    q.push(TimePoint{7}, [&] { order.push_back(0); });
+    q.push_now(TimePoint{3}, [&] { order.push_back(1); });
+    q.push(TimePoint{3}, [&] { order.push_back(2); });
+    q.push(TimePoint{1}, [&] { order.push_back(3); });
+    while (!q.empty()) q.pop()();
+    return order;
+  };
+  EventQueue fresh;
+  const auto expected = fill_and_drain(fresh);
+
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.push(TimePoint{i}, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fill_and_drain(q), expected);
+}
+
+TEST(EventQueue, StatsCountLaneHits) {
+  EventQueue q;
+  q.push_now(TimePoint{0}, [] {});  // fast lane
+  q.push_now(TimePoint{0}, [] {});  // fast lane
+  q.push(TimePoint{5}, [] {});      // sorted run
+  q.push(TimePoint{6}, [] {});      // sorted run
+  q.push(TimePoint{2}, [] {});      // out of order -> heap
+  EXPECT_EQ(q.stats().lane_pushes, 2u);
+  EXPECT_EQ(q.stats().run_pushes, 2u);
+  EXPECT_EQ(q.stats().heap_pushes, 1u);
+  std::vector<TimePoint> times;
+  while (!q.empty()) {
+    times.push_back(q.next_time());
+    q.pop()();
+  }
+  EXPECT_EQ(times, (std::vector<TimePoint>{TimePoint{0}, TimePoint{0}, TimePoint{2},
+                                           TimePoint{5}, TimePoint{6}}));
+  q.clear();
+  EXPECT_EQ(q.stats().lane_pushes, 0u);
+}
+
+TEST(Event, InlineAndHeapCallablesBothRunAfterMove) {
+  // Small capture: stays in the inline buffer. Large capture: heap slow
+  // path. Both must survive the queue's internal moves.
+  int small_hits = 0;
+  Event small{[&small_hits] { ++small_hits; }};
+  Event moved_small{std::move(small)};
+  moved_small();
+  EXPECT_EQ(small_hits, 1);
+
+  std::array<char, 128> big_payload{};
+  big_payload[0] = 42;
+  int big_hit = 0;
+  Event big{[big_payload, &big_hit] { big_hit = big_payload[0]; }};
+  Event moved_big{std::move(big)};
+  Event moved_again;
+  moved_again = std::move(moved_big);
+  moved_again();
+  EXPECT_EQ(big_hit, 42);
 }
 
 TEST(Simulation, DelayAdvancesClock) {

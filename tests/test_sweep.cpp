@@ -1,0 +1,101 @@
+// Sweep-runner tests: the parallel table regeneration must be
+// element-for-element identical to the serial loop it replaced, for any
+// thread count, and must fail deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "eval/sweep.hpp"
+
+namespace pdc::eval {
+namespace {
+
+using host::PlatformId;
+using mp::ToolKind;
+
+TEST(Sweep, ThreadCountResolution) {
+  EXPECT_EQ(sweep_threads(3), 3u);
+  EXPECT_GE(sweep_threads(0), 1u);  // env var or hardware_concurrency, min 1
+}
+
+TEST(Sweep, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 257;  // not a multiple of any thread count
+  for (unsigned threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for_index(kN, threads, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Sweep, LowestFailingIndexExceptionWins) {
+  // Two cells throw; the rethrown exception must always be the lower
+  // index's, independent of which worker reached it first.
+  for (int round = 0; round < 5; ++round) {
+    try {
+      parallel_for_index(64, 4, [](std::size_t i) {
+        if (i == 11) throw std::runtime_error("cell 11");
+        if (i == 47) throw std::out_of_range("cell 47");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "cell 11");
+    }
+  }
+}
+
+TEST(Sweep, TplGridParallelMatchesSerialElementForElement) {
+  // A slice of the Table 3 / Figure 2 grid: every primitive family, the
+  // PVM global-sum hole included.
+  std::vector<TplCell> cells;
+  for (std::int64_t bytes : {0LL, 1024LL, 16384LL}) {
+    for (ToolKind t : {ToolKind::Pvm, ToolKind::P4, ToolKind::Express}) {
+      cells.push_back({Primitive::SendRecv, PlatformId::SunEthernet, t, bytes, 2, 0});
+      cells.push_back({Primitive::Broadcast, PlatformId::SunAtmLan, t, bytes, 4, 0});
+      cells.push_back({Primitive::GlobalSum, PlatformId::AlphaFddi, t, 0, 4, 10000});
+    }
+  }
+  const auto serial = sweep_tpl_ms(cells, 1);
+  ASSERT_EQ(serial.size(), cells.size());
+  for (unsigned threads : {2u, 4u, 7u}) {
+    const auto parallel = sweep_tpl_ms(cells, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].has_value(), serial[i].has_value()) << i;
+      if (serial[i]) {
+        // Bit-identical, not approximately equal: each cell is its own
+        // Simulation, so thread count must not perturb a single ULP.
+        EXPECT_EQ(*parallel[i], *serial[i]) << "cell " << i << ", " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(Sweep, AppGridParallelMatchesSerialElementForElement) {
+  AplConfig cfg;
+  cfg.image_size = 64;
+  cfg.fft_n = 16;
+  cfg.mc_samples = 50'000;
+  cfg.mc_rounds = 2;
+  cfg.sort_keys = 20'000;
+  std::vector<AppCell> cells;
+  for (AppKind app : all_apps()) {
+    for (int procs : {1, 2, 4}) {
+      for (ToolKind t : {ToolKind::Pvm, ToolKind::P4}) {
+        cells.push_back({PlatformId::AlphaFddi, t, app, procs});
+      }
+    }
+  }
+  const auto serial = sweep_app_s(cells, cfg, 1);
+  const auto parallel = sweep_app_s(cells, cfg, 4);
+  ASSERT_EQ(serial.size(), cells.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pdc::eval
