@@ -1,21 +1,55 @@
 // Wall-clock performance of the simulator itself (google-benchmark), plus
 // the ablations DESIGN.md calls out: coroutine scheduling overhead, the
 // event-kind mix (coroutine resumes vs callable events), the event queue's
-// fast-lane hit rate, and parallel sweep scaling.
+// fast-lane hit rate, allocation telemetry for the payload/frame pools, and
+// parallel sweep scaling.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <numeric>
 #include <vector>
 
 #include "eval/sweep.hpp"
 #include "eval/tpl.hpp"
 #include "mp/api.hpp"
+#include "mp/buffer_pool.hpp"
 #include "mp/pack.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/simulation.hpp"
+
+// Heap-allocation telemetry: count every operator-new in the process so the
+// pool ablations can report allocations-per-operation, not just wall time.
+static std::atomic<unsigned long long> g_heap_allocs{0};
+
+// GCC cannot see that the replacement operator-new above hands out malloc
+// storage, so pairing it with std::free trips -Wmismatched-new-delete.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
 using namespace pdc;
+
+unsigned long long heap_allocs() { return g_heap_allocs.load(std::memory_order_relaxed); }
+
+void set_pools_enabled(bool on) {
+  mp::BufferPool::local().set_enabled(on);
+  sim::FramePool::local().set_enabled(on);
+}
 
 // Raw event throughput: how many scheduled events/second the kernel runs.
 void BM_EventLoop(benchmark::State& state) {
@@ -133,6 +167,99 @@ BENCHMARK(BM_ToolMessageThroughput)
     ->Arg(static_cast<int>(mp::ToolKind::P4))
     ->Arg(static_cast<int>(mp::ToolKind::Pvm))
     ->Arg(static_cast<int>(mp::ToolKind::Express));
+
+// Allocation ablation for the zero-copy payload pipeline: heap allocations
+// attributable to ONE 1024-element double global sum at P=16 (Express =
+// recursive doubling on the SP-1 switch), measured subtractively -- a run
+// with kSums sums minus an identical run with none, so spawn/teardown and
+// the app's own working vector cancel out. Arg(0) = pools disabled (the
+// pre-pool allocation profile); Arg(1) = pools enabled. Counters report the
+// headline number plus both pools' hit rates.
+void BM_GlobalSumAllocs(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  constexpr int kSums = 50;
+  auto run = [](bool with_sum, int sums) {
+    auto program = [with_sum, sums](mp::Communicator& c) -> sim::Task<void> {
+      for (int r = 0; r < sums; ++r) {
+        std::vector<double> v(1024, static_cast<double>(c.rank()));
+        if (with_sum) co_await c.global_sum(v);
+        benchmark::DoNotOptimize(v.data());
+      }
+    };
+    (void)mp::run_spmd(host::PlatformId::Sp1Switch, 16, mp::ToolKind::Express, program);
+  };
+
+  set_pools_enabled(pooled);
+  run(true, 1);  // warm pools and statics out of the measurement
+  mp::BufferPool::local().reset_stats();
+  sim::FramePool::local().reset_stats();
+  const auto base0 = heap_allocs();
+  run(false, kSums);
+  const auto base1 = heap_allocs();
+  run(true, kSums);
+  const auto with = heap_allocs() - base1;
+  const auto without = base1 - base0;
+  const double allocs_per_sum =
+      static_cast<double>(with - without) / static_cast<double>(kSums);
+  const double buf_hit = mp::BufferPool::local().stats().hit_rate();
+  const double frame_hit = sim::FramePool::local().stats().hit_rate();
+
+  for (auto _ : state) {
+    run(true, kSums);
+    benchmark::ClobberMemory();
+  }
+  set_pools_enabled(true);
+
+  state.SetItemsProcessed(state.iterations() * kSums);
+  state.counters["allocs_per_sum"] = allocs_per_sum;
+  state.counters["buffer_pool_hit_rate"] = buf_hit;
+  state.counters["frame_pool_hit_rate"] = frame_hit;
+}
+BENCHMARK(BM_GlobalSumAllocs)->Arg(0)->Arg(1);
+
+// In-place reduce throughput: the recursive-doubling global sum (Express)
+// end to end, pools off vs on -- wall-clock counterpart of the allocation
+// ablation above.
+void BM_ReduceRecursiveDoubling(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  constexpr int kSums = 20;
+  set_pools_enabled(pooled);
+  for (auto _ : state) {
+    auto program = [](mp::Communicator& c) -> sim::Task<void> {
+      std::vector<double> v(1024, static_cast<double>(c.rank()));
+      for (int r = 0; r < kSums; ++r) co_await c.global_sum(v);
+      benchmark::DoNotOptimize(v.data());
+    };
+    auto out = mp::run_spmd(host::PlatformId::Sp1Switch, 16, mp::ToolKind::Express, program);
+    benchmark::DoNotOptimize(out.messages);
+  }
+  set_pools_enabled(true);
+  state.SetItemsProcessed(state.iterations() * kSums);
+}
+BENCHMARK(BM_ReduceRecursiveDoubling)->Arg(0)->Arg(1);
+
+// Pack/read-path ablation: owning unpack_vector (materialises a fresh
+// vector) vs the zero-copy payload_span borrow, over a 1024-double payload.
+void BM_PackReadPath(benchmark::State& state) {
+  const bool zero_copy = state.range(0) != 0;
+  const std::vector<double> v = [] {
+    std::vector<double> x(1024);
+    std::iota(x.begin(), x.end(), 0.0);
+    return x;
+  }();
+  for (auto _ : state) {
+    auto p = mp::pack_vector(v);
+    double sum = 0;
+    if (zero_copy) {
+      for (double d : mp::payload_span<double>(*p)) sum += d;
+    } else {
+      for (double d : mp::unpack_vector<double>(*p)) sum += d;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackReadPath)->Arg(0)->Arg(1);
 
 // End-to-end cost of regenerating one Table 3 cell.
 void BM_Table3Cell(benchmark::State& state) {

@@ -53,8 +53,9 @@ sim::Task<void> transpose(mp::Communicator& comm, Slab& slab, int tag) {
     if (dst == rank) continue;
     co_await comm.send(dst, tag, blocks[static_cast<std::size_t>(dst)]);
   }
-  // Splice the diagonal block.
-  auto splice = [&slab, rows](int src, const std::vector<Complex>& block) {
+  // Splice blocks straight out of the immutable payloads (the Message /
+  // local Payload keeps the bytes alive while we read).
+  auto splice = [&slab, rows](int src, std::span<const Complex> block) {
     for (int r = 0; r < rows; ++r) {
       for (int c = 0; c < rows; ++c) {
         slab.at(r, src * rows + c) =
@@ -63,10 +64,10 @@ sim::Task<void> transpose(mp::Communicator& comm, Slab& slab, int tag) {
       }
     }
   };
-  splice(rank, mp::unpack_vector<Complex>(*blocks[static_cast<std::size_t>(rank)]));
+  splice(rank, mp::payload_span<Complex>(*blocks[static_cast<std::size_t>(rank)]));
   for (int i = 1; i < procs; ++i) {
     mp::Message m = co_await comm.recv(mp::kAnySource, tag);
-    splice(m.src, mp::unpack_vector<Complex>(*m.data));
+    splice(m.src, mp::payload_span<Complex>(*m.data));
   }
 }
 
@@ -109,7 +110,7 @@ sim::Task<void> fft2d_distributed(mp::Communicator& comm, int n, std::uint64_t s
       std::copy(slab.data.begin(), slab.data.end(), result->data.begin());
       for (int r = 1; r < procs; ++r) {
         mp::Message m = co_await comm.recv(mp::kAnySource, kTagGather);
-        auto part = mp::unpack_vector<Complex>(*m.data);
+        const auto part = mp::payload_span<Complex>(*m.data);
         std::copy(part.begin(), part.end(),
                   result->data.begin() + static_cast<std::ptrdiff_t>(m.src) * rows * n);
       }

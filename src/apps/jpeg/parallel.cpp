@@ -37,6 +37,9 @@ sim::Task<void> compress_distributed(mp::Communicator& comm, const Image& img, i
     for (int r = 1; r < procs; ++r) {
       const Strip s = strip_for(r, procs, img.height);
       mp::Packer pk;
+      pk.reserve(3 * sizeof(std::int32_t) + sizeof(std::uint64_t) +
+                 static_cast<std::size_t>(s.row_end - s.row_begin) *
+                     static_cast<std::size_t>(img.width));
       pk.put<std::int32_t>(img.width);
       pk.put<std::int32_t>(s.row_end - s.row_begin);
       pk.put<std::int32_t>(quality);
@@ -52,31 +55,36 @@ sim::Task<void> compress_distributed(mp::Communicator& comm, const Image& img, i
     co_await comm.compute_flops(blocks_in(img.width, mine.row_end - mine.row_begin) *
                                 kFlopsPerBlock);
     std::vector<std::int16_t> stream = compress_rows(img, mine.row_begin, mine.row_end, quality);
-    // Collection phase: splice worker streams in rank order.
-    std::vector<std::vector<std::int16_t>> parts(static_cast<std::size_t>(procs));
-    parts[0] = std::move(stream);
+    // Collection phase: keep the worker payloads and splice their symbol
+    // streams in rank order straight from the borrowed spans.
+    std::vector<mp::Payload> parts(static_cast<std::size_t>(procs));
     for (int r = 1; r < procs; ++r) {
       mp::Message m = co_await comm.recv(mp::kAnySource, kTagStream);
-      mp::Unpacker u(*m.data);
-      parts[static_cast<std::size_t>(m.src)] = u.get_vector<std::int16_t>();
+      parts[static_cast<std::size_t>(m.src)] = std::move(m.data);
     }
     if (out != nullptr) {
       out->clear();
-      for (auto& p : parts) out->insert(out->end(), p.begin(), p.end());
+      out->insert(out->end(), stream.begin(), stream.end());
+      for (int r = 1; r < procs; ++r) {
+        mp::PayloadReader u(parts[static_cast<std::size_t>(r)]);
+        const auto s = u.get_span<std::int16_t>();
+        out->insert(out->end(), s.begin(), s.end());
+      }
     }
     co_return;
   }
 
   // Worker: receive strip, compress, return the symbol stream.
   mp::Message m = co_await comm.recv(0, kTagSlice);
-  mp::Unpacker u(*m.data);
+  mp::PayloadReader u(m.data);
   const auto width = u.get<std::int32_t>();
   const auto rows = u.get<std::int32_t>();
   const auto q = u.get<std::int32_t>();
-  Image slice{width, rows, u.get_vector<std::uint8_t>()};
+  Image slice{width, rows, u.get_vector<std::uint8_t>()};  // Image owns its pixels
   co_await comm.compute_flops(blocks_in(width, rows) * kFlopsPerBlock);
   std::vector<std::int16_t> stream = compress(slice, q);
   mp::Packer reply;
+  reply.reserve(sizeof(std::uint64_t) + stream.size() * sizeof(std::int16_t));
   reply.put_span<std::int16_t>(std::span<const std::int16_t>(stream));
   co_await comm.send(0, kTagStream, reply.finish());
 }

@@ -49,19 +49,19 @@ sim::Task<void> integrate_distributed(mp::Communicator& comm, std::int64_t total
       if (rank == 0) {
         for (int r = 1; r < procs; ++r) {
           mp::Message m = co_await comm.recv(mp::kAnySource, kTagPartial + round);
-          round_total += mp::unpack_vector<double>(*m.data)[0];
+          round_total += mp::payload_span<double>(*m.data)[0];
         }
       } else {
         const std::vector<double> v(1, partial);
         co_await comm.send(0, kTagPartial + round, mp::pack_vector(v));
       }
-      mp::Bytes total;
+      mp::Payload total;
       if (rank == 0) {
         const std::vector<double> v(1, round_total);
-        total = *mp::pack_vector(v);
+        total = mp::pack_vector(v);
       }
       co_await comm.broadcast(0, total, kTagFinal + round);
-      running += mp::unpack_vector<double>(total)[0];
+      running += mp::payload_span<double>(*total)[0];
     }
   }
 

@@ -59,7 +59,7 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
     std::vector<std::int32_t> all = samples;
     for (int r = 1; r < procs; ++r) {
       mp::Message m = co_await comm.recv(mp::kAnySource, kTagSamples);
-      const auto s = mp::unpack_vector<std::int32_t>(*m.data);
+      const auto s = mp::payload_span<std::int32_t>(*m.data);
       all.insert(all.end(), s.begin(), s.end());
     }
     co_await comm.compute_intops(nlogn(static_cast<double>(all.size())) * kOpsPerCompare);
@@ -71,11 +71,14 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
     co_await comm.send(0, kTagSamples, mp::pack_vector(samples));
   }
 
-  // Phase 4: pivot broadcast.
-  mp::Bytes pivot_bytes;
-  if (rank == 0) pivot_bytes = *mp::pack_vector(pivots);
-  co_await comm.broadcast(0, pivot_bytes, kTagPivots);
-  pivots = mp::unpack_vector<std::int32_t>(pivot_bytes);
+  // Phase 4: pivot broadcast -- every rank borrows the same shared payload.
+  mp::Payload pivot_pay;
+  if (rank == 0) pivot_pay = mp::pack_vector(pivots);
+  co_await comm.broadcast(0, pivot_pay, kTagPivots);
+  if (rank != 0) {
+    const auto s = mp::payload_span<std::int32_t>(*pivot_pay);
+    pivots.assign(s.begin(), s.end());
+  }
 
   // Phase 5: partition by pivots and exchange (all-to-all).
   std::vector<std::vector<std::int32_t>> parts(static_cast<std::size_t>(procs));
@@ -98,7 +101,7 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
   std::vector<std::int32_t> merged = std::move(parts[static_cast<std::size_t>(rank)]);
   for (int i = 1; i < procs; ++i) {
     mp::Message m = co_await comm.recv(mp::kAnySource, kTagPartition);
-    const auto piece = mp::unpack_vector<std::int32_t>(*m.data);
+    const auto piece = mp::payload_span<std::int32_t>(*m.data);  // merge in place from the wire
     std::vector<std::int32_t> next(merged.size() + piece.size());
     std::merge(merged.begin(), merged.end(), piece.begin(), piece.end(), next.begin());
     merged = std::move(next);
@@ -108,16 +111,21 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
   // Gather the ordered partitions at rank 0 (partition i <= partition i+1).
   if (!gather) co_return;
   if (rank == 0) {
-    std::vector<std::vector<std::int32_t>> pieces(static_cast<std::size_t>(procs));
-    pieces[0] = std::move(merged);
+    // Hold the received payloads and splice spans in rank order -- no
+    // per-piece vector materialisation.
+    std::vector<mp::Payload> pieces(static_cast<std::size_t>(procs));
     for (int r = 1; r < procs; ++r) {
       mp::Message m = co_await comm.recv(mp::kAnySource, kTagGather);
-      pieces[static_cast<std::size_t>(m.src)] = mp::unpack_vector<std::int32_t>(*m.data);
+      pieces[static_cast<std::size_t>(m.src)] = std::move(m.data);
     }
     if (out != nullptr) {
       out->clear();
       out->reserve(static_cast<std::size_t>(total_keys));
-      for (auto& p : pieces) out->insert(out->end(), p.begin(), p.end());
+      out->insert(out->end(), merged.begin(), merged.end());
+      for (int r = 1; r < procs; ++r) {
+        const auto s = mp::payload_span<std::int32_t>(*pieces[static_cast<std::size_t>(r)]);
+        out->insert(out->end(), s.begin(), s.end());
+      }
     }
   } else {
     co_await comm.send(0, kTagGather, mp::pack_vector(merged));

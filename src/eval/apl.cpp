@@ -36,15 +36,26 @@ namespace {
 
 /// The JPEG input is deterministic and reused across every run; building it
 /// per run would only add host wall time, not change simulated results.
-/// Mutex-guarded so parallel sweep cells can share the cache; map node
-/// references stay valid across later insertions.
+/// The map mutex is held only long enough to find/insert the slot (node
+/// references stay valid across later insertions); the image itself is
+/// built under a per-key once_flag, so parallel sweep cells first-touching
+/// *different* sizes construct concurrently instead of serialising on one
+/// lock.
 const apps::jpeg::Image& cached_image(int size, std::uint64_t seed) {
+  struct Slot {
+    std::once_flag once;
+    apps::jpeg::Image image;
+  };
   static std::mutex mu;
-  static std::map<std::pair<int, std::uint64_t>, apps::jpeg::Image> cache;
-  const std::scoped_lock lock(mu);
-  auto [it, inserted] = cache.try_emplace({size, seed});
-  if (inserted) it->second = apps::jpeg::make_test_image(size, size, seed);
-  return it->second;
+  static std::map<std::pair<int, std::uint64_t>, Slot> cache;
+  Slot* slot;
+  {
+    const std::scoped_lock lock(mu);
+    slot = &cache[{size, seed}];
+  }
+  std::call_once(slot->once,
+                 [&] { slot->image = apps::jpeg::make_test_image(size, size, seed); });
+  return slot->image;
 }
 
 }  // namespace

@@ -7,7 +7,44 @@
 #include <stdexcept>
 #include <thread>
 
+#include "mp/buffer_pool.hpp"
+
 namespace pdc::eval {
+
+namespace {
+
+// Fleet-wide payload-pool telemetry for the most recent sweep. Workers fold
+// their thread-local mp::BufferPool deltas in as they drain.
+std::atomic<std::uint64_t> g_pool_hits{0};
+std::atomic<std::uint64_t> g_pool_misses{0};
+std::atomic<std::uint64_t> g_pool_releases{0};
+std::atomic<std::uint64_t> g_pool_discards{0};
+std::atomic<std::uint64_t> g_pool_bytes{0};
+
+void reset_pool_aggregate() {
+  g_pool_hits = 0;
+  g_pool_misses = 0;
+  g_pool_releases = 0;
+  g_pool_discards = 0;
+  g_pool_bytes = 0;
+}
+
+void fold_pool_delta(const mp::BufferPool::Stats& before) {
+  const auto& now = mp::BufferPool::local().stats();
+  g_pool_hits.fetch_add(now.hits - before.hits, std::memory_order_relaxed);
+  g_pool_misses.fetch_add(now.misses - before.misses, std::memory_order_relaxed);
+  g_pool_releases.fetch_add(now.releases - before.releases, std::memory_order_relaxed);
+  g_pool_discards.fetch_add(now.discards - before.discards, std::memory_order_relaxed);
+  g_pool_bytes.fetch_add(now.bytes_recycled - before.bytes_recycled,
+                         std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SweepPoolStats last_sweep_pool_stats() {
+  return {g_pool_hits.load(), g_pool_misses.load(), g_pool_releases.load(),
+          g_pool_discards.load(), g_pool_bytes.load()};
+}
 
 unsigned sweep_threads(unsigned requested) {
   if (requested > 0) return requested;
@@ -22,10 +59,13 @@ unsigned sweep_threads(unsigned requested) {
 void parallel_for_index(std::size_t n, unsigned threads,
                         const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  reset_pool_aggregate();
   const std::size_t workers =
       std::min<std::size_t>(n, static_cast<std::size_t>(sweep_threads(threads)));
   if (workers <= 1) {
+    const auto pool_before = mp::BufferPool::local().stats();
     for (std::size_t i = 0; i < n; ++i) body(i);
+    fold_pool_delta(pool_before);
     return;
   }
 
@@ -33,9 +73,10 @@ void parallel_for_index(std::size_t n, unsigned threads,
   std::atomic<bool> failed{false};
   std::vector<std::exception_ptr> errors(n);
   auto worker = [&]() noexcept {
+    const auto pool_before = mp::BufferPool::local().stats();
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
       try {
         body(i);
       } catch (...) {
@@ -43,6 +84,7 @@ void parallel_for_index(std::size_t n, unsigned threads,
         failed.store(true, std::memory_order_relaxed);
       }
     }
+    fold_pool_delta(pool_before);
   };
 
   std::vector<std::thread> pool;

@@ -32,8 +32,31 @@ namespace pdc::eval {
 /// exception is captured and the one thrown by the lowest cell index is
 /// rethrown after all workers drain, keeping failure behaviour
 /// deterministic too.
+///
+/// Payload allocation telemetry: each worker recycles payload buffers
+/// through its own thread-local mp::BufferPool (no buffer is ever shared
+/// across threads), and on drain its pool-stats delta is folded into a
+/// fleet-wide aggregate readable via last_sweep_pool_stats().
 void parallel_for_index(std::size_t n, unsigned threads,
                         const std::function<void(std::size_t)>& body);
+
+/// Aggregated mp::BufferPool activity across every worker of the most
+/// recent parallel_for_index / sweep_* call on this thread's sweep (reset
+/// at the start of each run). Hit rate here is the fleet-wide payload
+/// recycling rate the benches report.
+struct SweepPoolStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t releases{0};
+  std::uint64_t discards{0};
+  std::uint64_t bytes_recycled{0};
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+[[nodiscard]] SweepPoolStats last_sweep_pool_stats();
 
 /// Map i -> fn(i) over [0, n), results in index order.
 template <typename R, typename Fn>

@@ -199,27 +199,29 @@ sim::Task<Message> Communicator::recv(int src, int tag) {
 
 // -- collectives -------------------------------------------------------------
 
-sim::Task<void> Communicator::broadcast(int root, Bytes& data, int tag) {
+sim::Task<void> Communicator::broadcast(int root, Payload& data, int tag) {
   const int p = size();
   if (p == 1) co_return;
   const auto& prof = profile();
+  if (rank_ == root && !data) data = empty_payload();
 
   if (prof.broadcast_algo == ToolProfile::BroadcastAlgo::SequentialFromRoot) {
     if (rank_ == root) {
-      Payload pay = make_payload(Bytes(data));
       for (int i = 0; i < p; ++i) {
         if (i == root) continue;
         co_await sim().delay(prof.collective_step);
-        co_await send(i, tag, pay);
+        co_await send(i, tag, data);  // shared payload: refcount bump, no clone
       }
     } else {
       Message m = co_await recv(root, tag);
-      data = *m.data;
+      data = std::move(m.data);
     }
     co_return;
   }
 
-  // Binomial tree (MPICH-style).
+  // Binomial tree (MPICH-style). Receivers adopt the incoming payload and
+  // forward it as-is -- the whole tree shares one buffer in host memory
+  // (the simulated copy costs are still billed per hop by send/recv).
   const int rel = (rank_ - root + p) % p;
   int mask = 1;
   while (mask < p) {
@@ -227,23 +229,29 @@ sim::Task<void> Communicator::broadcast(int root, Bytes& data, int tag) {
       int src = rank_ - mask;
       if (src < 0) src += p;
       Message m = co_await recv(src, tag);
-      data = *m.data;
+      data = std::move(m.data);
       break;
     }
     mask <<= 1;
   }
   mask >>= 1;
-  Payload pay;  // lazily packed once per forwarding node
   while (mask > 0) {
     if (rel + mask < p) {
       int dst = rank_ + mask;
       if (dst >= p) dst -= p;
-      if (!pay) pay = make_payload(Bytes(data));
       co_await sim().delay(prof.collective_step);
-      co_await send(dst, tag, pay);
+      co_await send(dst, tag, data);
     }
     mask >>= 1;
   }
+}
+
+sim::Task<void> Communicator::broadcast(int root, Bytes& data, int tag) {
+  if (size() == 1) co_return;
+  Payload pay;
+  if (rank_ == root) pay = make_payload(Bytes(data));  // root keeps its buffer
+  co_await broadcast(root, pay, tag);
+  if (rank_ != root) data = *pay;  // copy out for the owning-buffer API
 }
 
 sim::Task<void> Communicator::barrier() {
@@ -301,7 +309,7 @@ sim::Task<void> Communicator::barrier_dissemination() {
   const int parity = barrier_seq_++ & 1;
   for (int k = 1; k < p; k <<= 1) {
     const int to = (rank_ + k) % p;
-    const int from = (rank_ - k % p + p) % p;
+    const int from = (rank_ - k + p) % p;  // k < p, so one +p suffices
     const int tag = kTagBarrier + 2 * k + parity;
     co_await sim().delay(step);
     co_await send(to, tag, empty_payload());
@@ -328,12 +336,20 @@ sim::Task<void> Communicator::barrier_coordinator() {
 
 namespace {
 
+/// Combine received elements straight out of the borrowed payload span --
+/// no intermediate vector.
 template <typename T>
-void add_into(std::vector<T>& acc, const std::vector<T>& other) {
+void add_into(std::vector<T>& acc, std::span<const T> other) {
   if (acc.size() != other.size()) {
     throw std::invalid_argument("global_sum: mismatched vector lengths across ranks");
   }
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+/// Overwrite `v` in place from the payload span (capacity already there).
+template <typename T>
+void assign_from(std::vector<T>& v, std::span<const T> other) {
+  v.assign(other.begin(), other.end());
 }
 
 }  // namespace
@@ -371,7 +387,7 @@ sim::Task<void> Communicator::reduce_gather_broadcast(std::vector<T>& v) {
     }
     if (rank_ + mask < p) {
       Message m = co_await recv(rank_ + mask, kTagReduce);
-      add_into(v, unpack_vector<T>(*m.data));
+      add_into(v, payload_span<T>(*m.data));
       if constexpr (std::is_floating_point_v<T>) {
         co_await compute_flops(n);
       } else {
@@ -385,7 +401,7 @@ sim::Task<void> Communicator::reduce_gather_broadcast(std::vector<T>& v) {
   while (mask < p) {
     if (rank_ & mask) {
       Message m = co_await recv(rank_ - mask, kTagReduceBcast);
-      v = unpack_vector<T>(*m.data);
+      assign_from(v, payload_span<T>(*m.data));
       break;
     }
     mask <<= 1;
@@ -417,7 +433,7 @@ sim::Task<void> Communicator::reduce_recursive_doubling(std::vector<T>& v) {
     co_await send(rank_ - pof2, kTagReduce, pack_vector(v));
   } else if (rank_ < rem) {
     Message m = co_await recv(rank_ + pof2, kTagReduce);
-    add_into(v, unpack_vector<T>(*m.data));
+    add_into(v, payload_span<T>(*m.data));
   }
 
   if (rank_ < pof2) {
@@ -427,7 +443,7 @@ sim::Task<void> Communicator::reduce_recursive_doubling(std::vector<T>& v) {
       co_await sim().delay(step);
       co_await send(partner, tag, pack_vector(v));
       Message m = co_await recv(partner, tag);
-      add_into(v, unpack_vector<T>(*m.data));
+      add_into(v, payload_span<T>(*m.data));
       if constexpr (std::is_floating_point_v<T>) {
         co_await compute_flops(n);
       } else {
@@ -439,7 +455,7 @@ sim::Task<void> Communicator::reduce_recursive_doubling(std::vector<T>& v) {
   // Unfold: the core sends results back to the folded ranks.
   if (rank_ >= pof2) {
     Message m = co_await recv(rank_ - pof2, kTagReduceBcast);
-    v = unpack_vector<T>(*m.data);
+    assign_from(v, payload_span<T>(*m.data));
   } else if (rank_ < rem) {
     co_await sim().delay(step);
     co_await send(rank_ + pof2, kTagReduceBcast, pack_vector(v));

@@ -60,9 +60,15 @@ class Communicator {
 
   // -- collectives ---------------------------------------------------------
 
-  /// Broadcast `data` from `root` to everyone (in: root's data; out:
-  /// everyone's). Algorithm per tool: p4 binomial tree, PVM sequential
-  /// mcast, Express sequential exbroadcast.
+  /// Broadcast `data` from `root` to everyone (in: root's payload; out:
+  /// everyone holds a reference to the *same* immutable payload -- zero
+  /// host copies at forwarding nodes and receivers). Algorithm per tool:
+  /// p4 binomial tree, PVM sequential mcast, Express sequential
+  /// exbroadcast.
+  sim::Task<void> broadcast(int root, Payload& data, int tag);
+
+  /// Owning-buffer convenience overload (in: root's bytes; out: everyone's
+  /// own copy). Same simulated cost; one host copy-out per receiver.
   sim::Task<void> broadcast(int root, Bytes& data, int tag);
 
   /// Barrier: p4 tree, PVM coordinator round-trip, Express dissemination.

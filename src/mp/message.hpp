@@ -5,6 +5,14 @@
 // results bit-for-bit against serial references. Payloads are shared
 // (immutable) so a broadcast does not physically clone the buffer P times
 // in host memory -- the *simulated* copy costs are billed by the tools.
+//
+// Payload storage is recycled through the thread-local BufferPool: the
+// shared_ptr's owner is a PooledBytes node whose destructor hands the byte
+// storage back to the pool, and the node itself (control block + Bytes
+// header, fused by allocate_shared) is recycled through the pool's node
+// free list. In steady state a pack -> send -> recv -> drop cycle touches
+// the allocator zero times. None of this changes simulated time -- only
+// host-side allocation behaviour.
 #pragma once
 
 #include <cstddef>
@@ -13,19 +21,60 @@
 #include <utility>
 #include <vector>
 
+#include "mp/buffer_pool.hpp"
+
 namespace pdc::mp {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
-using Bytes = std::vector<std::byte>;
 using Payload = std::shared_ptr<const Bytes>;
 
+namespace detail {
+
+/// Owner object for pooled payloads: releases its storage back to the
+/// destroying thread's pool instead of freeing it.
+struct PooledBytes {
+  Bytes bytes;
+  explicit PooledBytes(Bytes b) noexcept : bytes(std::move(b)) {}
+  ~PooledBytes() { BufferPool::local().release(std::move(bytes)); }
+};
+
+/// Stateless allocator routing allocate_shared's single fused node
+/// (control block + PooledBytes) through the current thread's pool.
+template <typename T>
+struct NodeAllocator {
+  using value_type = T;
+  NodeAllocator() noexcept = default;
+  template <typename U>
+  NodeAllocator(const NodeAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(BufferPool::local().allocate_node(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    BufferPool::local().deallocate_node(p, n * sizeof(T));
+  }
+  friend bool operator==(const NodeAllocator&, const NodeAllocator&) noexcept { return true; }
+};
+
+}  // namespace detail
+
+/// Wrap `bytes` as an immutable shared payload. The storage (and the
+/// shared_ptr node) come back through the thread-local BufferPool when the
+/// last reference drops, so acquiring `bytes` via BufferPool::acquire (as
+/// pack_vector and Packer do) makes the whole payload cycle allocation-free
+/// in steady state.
 [[nodiscard]] inline Payload make_payload(Bytes bytes) {
-  return std::make_shared<const Bytes>(std::move(bytes));
+  auto owner = std::allocate_shared<detail::PooledBytes>(
+      detail::NodeAllocator<detail::PooledBytes>{}, std::move(bytes));
+  const Bytes* view = &owner->bytes;
+  return Payload(std::move(owner), view);  // aliasing: share the node, expose the bytes
 }
 
 [[nodiscard]] inline Payload empty_payload() {
+  // Deliberately *not* pooled: this payload outlives every thread-local
+  // pool (static storage duration).
   static const Payload kEmpty = std::make_shared<const Bytes>();
   return kEmpty;
 }

@@ -49,7 +49,7 @@ class Pvm {
     co_await comm_.send(tid, msgtag, packer_.finish());
   }
   sim::Task<void> pvm_mcast(int msgtag) {
-    Bytes data = *packer_.finish();
+    Payload data = packer_.finish();
     co_await comm_.broadcast(comm_.rank(), data, msgtag);
   }
   sim::Task<Message> pvm_recv(int tid = kAnySource, int msgtag = kAnyTag) {

@@ -32,7 +32,7 @@ Runtime::~Runtime() = default;
 Communicator& Runtime::comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
 
 sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes,
-                                        std::function<void(sim::TimePoint)> delivered,
+                                        sim::PooledFunction<void(sim::TimePoint)> delivered,
                                         std::optional<net::ChunkProtocol> chunked) {
   ++messages_sent_;
   payload_bytes_ += static_cast<std::uint64_t>(bytes);

@@ -8,7 +8,6 @@
 // own moment in simulated time (exact FIFO queueing).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "mp/profile.hpp"
 #include "mp/tool.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/pooled_function.hpp"
 #include "sim/resource.hpp"
 
 namespace pdc::mp {
@@ -61,9 +61,10 @@ class Runtime {
   /// starting now. Returns the sender-stack completion time (what a
   /// blocking send waits for); invokes `delivered` (via the scheduler) when
   /// the receiver's kernel has the data. `chunked` selects the fragment+ack
-  /// wire protocol (PVM daemon traffic).
+  /// wire protocol (PVM daemon traffic). The continuation rides in a
+  /// pool-backed callable so per-message delivery never hits malloc.
   sim::TimePoint kernel_transfer(int src, int dst, std::int64_t bytes,
-                                 std::function<void(sim::TimePoint)> delivered,
+                                 sim::PooledFunction<void(sim::TimePoint)> delivered,
                                  std::optional<net::ChunkProtocol> chunked = std::nullopt);
 
   /// Hand a message to rank `dst`'s mailbox at time `at`.

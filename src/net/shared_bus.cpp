@@ -17,6 +17,17 @@ std::int64_t SharedBusNetwork::wire_bytes(std::int64_t bytes) const noexcept {
   return bytes + frames_for(bytes) * params_.frame_overhead_bytes;
 }
 
+std::int64_t SharedBusNetwork::chunked_frames(std::int64_t bytes,
+                                              const ChunkProtocol& protocol) const noexcept {
+  // Closed form of "frame every chunk separately": full chunks all frame
+  // identically, plus the short tail chunk (tests pin this against the
+  // per-chunk loop across chunk/frame-size combinations).
+  if (bytes <= 0) return frames_for(0);
+  const std::int64_t full = bytes / protocol.chunk_bytes;
+  const std::int64_t tail = bytes % protocol.chunk_bytes;
+  return full * frames_for(protocol.chunk_bytes) + (tail > 0 ? frames_for(tail) : 0);
+}
+
 sim::Duration SharedBusNetwork::serialization(std::int64_t wire_bytes) const noexcept {
   return sim::from_seconds(static_cast<double>(wire_bytes) * 8.0 / params_.line_rate_bps);
 }
@@ -44,13 +55,7 @@ sim::TimePoint SharedBusNetwork::transfer_chunked(NodeId src, NodeId dst, std::i
   const std::int64_t chunks =
       bytes <= 0 ? 1
                  : (bytes + protocol.chunk_bytes - 1) / protocol.chunk_bytes;
-  std::int64_t frames = 0;
-  std::int64_t last = bytes;
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    const std::int64_t sz = std::min<std::int64_t>(protocol.chunk_bytes, last);
-    frames += frames_for(sz);
-    last -= sz;
-  }
+  const std::int64_t frames = chunked_frames(bytes, protocol);
   const std::int64_t ack_wire = protocol.ack_bytes + params_.frame_overhead_bytes;
   const sim::Duration data_time =
       serialization(bytes + frames * params_.frame_overhead_bytes) +

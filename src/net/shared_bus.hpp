@@ -42,8 +42,16 @@ class SharedBusNetwork final : public Network {
 
   [[nodiscard]] const sim::SerialResource& channel() const noexcept { return channel_; }
 
- private:
+  /// Frames per message (one per MTU payload; a zero-byte message is one
+  /// frame).
   [[nodiscard]] std::int64_t frames_for(std::int64_t bytes) const noexcept;
+  /// Total frames when `bytes` is cut into `protocol.chunk_bytes` pieces
+  /// that are framed independently (closed form; tests compare it against
+  /// the per-chunk loop).
+  [[nodiscard]] std::int64_t chunked_frames(std::int64_t bytes,
+                                            const ChunkProtocol& protocol) const noexcept;
+
+ private:
   [[nodiscard]] sim::Duration serialization(std::int64_t wire_bytes) const noexcept;
   /// Collision waste for `acquisitions` channel grabs, charged only when
   /// the segment is already backlogged.

@@ -5,8 +5,8 @@
 // bare `std::coroutine_handle` for that case and dispatches it with a direct
 // `resume()` -- no type erasure, no indirection, no allocation. Arbitrary
 // callables are carried in a small inline buffer (relocated by memcpy when
-// trivially copyable); only callables larger than the buffer fall back to a
-// single heap allocation.
+// trivially copyable); only callables larger than the buffer spill to one
+// block from the thread-local FramePool freelist (malloc-free once warm).
 #pragma once
 
 #include <coroutine>
@@ -16,6 +16,8 @@
 #include <new>
 #include <type_traits>
 #include <utility>
+
+#include "sim/frame_pool.hpp"
 
 namespace pdc::sim {
 
@@ -50,7 +52,15 @@ class Event {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &kInlineOps<Fn>;
     } else {
-      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      void* mem = FramePool::local().allocate(sizeof(Fn));
+      Fn* fn;
+      try {
+        fn = ::new (mem) Fn(std::forward<F>(f));
+      } catch (...) {
+        FramePool::local().deallocate(mem, sizeof(Fn));
+        throw;
+      }
+      ::new (static_cast<void*>(storage_)) Fn*(fn);
       ops_ = &kHeapOps<Fn>;
     }
   }
@@ -115,7 +125,11 @@ class Event {
   static constexpr Ops kHeapOps{
       [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
       nullptr,  // the stored pointer relocates by memcpy
-      [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+      [](void* s) noexcept {
+        Fn* fn = *std::launder(reinterpret_cast<Fn**>(s));
+        fn->~Fn();
+        FramePool::local().deallocate(fn, sizeof(Fn));
+      },
   };
 
   void steal(Event& o) noexcept {

@@ -1,0 +1,84 @@
+// pdceval -- pool-backed move-only callable.
+//
+// `std::function` heap-allocates whenever a capture outgrows its small
+// buffer (16 bytes in libstdc++), and the runtime's delivery continuations
+// always do: they carry a Message, a rank and a handful of cost parameters.
+// `PooledFunction` erases the callable behind one block from the thread-local
+// `FramePool` freelist instead, so constructing and destroying a delivery
+// continuation touches malloc only on the pool's first pass. Moves steal the
+// pointer (noexcept, no allocation), which also lets an `Event` keep a
+// lambda that owns one in its inline buffer.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "sim/frame_pool.hpp"
+
+namespace pdc::sim {
+
+template <typename Signature>
+class PooledFunction;
+
+template <typename R, typename... Args>
+class PooledFunction<R(Args...)> {
+ public:
+  PooledFunction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, PooledFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  PooledFunction(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    void* mem = FramePool::local().allocate(sizeof(Fn));
+    try {
+      obj_ = ::new (mem) Fn(std::forward<F>(f));
+    } catch (...) {
+      FramePool::local().deallocate(mem, sizeof(Fn));
+      throw;
+    }
+    invoke_ = [](void* obj, Args... args) -> R {
+      return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+    };
+    destroy_ = [](void* obj) noexcept {
+      static_cast<Fn*>(obj)->~Fn();
+      FramePool::local().deallocate(obj, sizeof(Fn));
+    };
+  }
+
+  PooledFunction(PooledFunction&& o) noexcept
+      : obj_(std::exchange(o.obj_, nullptr)),
+        invoke_(std::exchange(o.invoke_, nullptr)),
+        destroy_(std::exchange(o.destroy_, nullptr)) {}
+  PooledFunction& operator=(PooledFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      obj_ = std::exchange(o.obj_, nullptr);
+      invoke_ = std::exchange(o.invoke_, nullptr);
+      destroy_ = std::exchange(o.destroy_, nullptr);
+    }
+    return *this;
+  }
+  PooledFunction(const PooledFunction&) = delete;
+  PooledFunction& operator=(const PooledFunction&) = delete;
+  ~PooledFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return obj_ != nullptr; }
+
+  R operator()(Args... args) const { return invoke_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void reset() noexcept {
+    if (obj_ != nullptr) destroy_(obj_);
+    obj_ = nullptr;
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  void* obj_{nullptr};
+  R (*invoke_)(void*, Args...){nullptr};
+  void (*destroy_)(void*) noexcept {nullptr};
+};
+
+}  // namespace pdc::sim

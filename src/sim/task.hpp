@@ -8,9 +8,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "sim/frame_pool.hpp"
 
 namespace pdc::sim {
 
@@ -19,6 +22,14 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;  // resumed when this task finishes
   std::exception_ptr exception;
+
+  // Coroutine frames are the hottest allocation in a run (one per awaited
+  // call); recycle them through the thread-local freelist instead of the
+  // global heap.
+  static void* operator new(std::size_t n) { return FramePool::local().allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::local().deallocate(p, n);
+  }
 
   struct FinalAwaiter {
     [[nodiscard]] bool await_ready() const noexcept { return false; }

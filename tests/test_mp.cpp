@@ -2,10 +2,13 @@
 // collectives correctness, daemon routing, pack/unpack, and the SPMD driver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <numeric>
 #include <vector>
 
 #include "mp/api.hpp"
+#include "mp/buffer_pool.hpp"
 #include "mp/communicator.hpp"
 #include "mp/native.hpp"
 #include "mp/pack.hpp"
@@ -292,6 +295,184 @@ TEST(Native, VeneersExerciseSamePaths) {
   };
   run_spmd(PlatformId::AlphaFddi, 2, ToolKind::Express, program2);
   EXPECT_TRUE(ok2);
+}
+
+TEST(Pack, EmptySpanRoundTrips) {
+  // Regression: an empty span may have data() == nullptr; put_span must not
+  // do pointer arithmetic on it (UB caught by UBSan).
+  Packer pk;
+  pk.put<std::int32_t>(42);
+  pk.put_span<double>(std::span<const double>{});
+  pk.put<std::int32_t>(7);
+  auto payload = pk.finish();
+
+  PayloadReader r(payload);
+  EXPECT_EQ(r.get<std::int32_t>(), 42);
+  EXPECT_TRUE(r.get_span<double>().empty());
+  EXPECT_EQ(r.get<std::int32_t>(), 7);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Zero-element pack_vector and payload_span agree on the empty case too.
+  auto p2 = pack_vector(std::span<const double>{});
+  EXPECT_TRUE(p2->empty());
+  EXPECT_TRUE(payload_span<double>(*p2).empty());
+}
+
+TEST(Pack, MalformedLengthPrefixRejected) {
+  // A corrupted length prefix whose n * sizeof(T) wraps 64-bit arithmetic
+  // must not pass the bounds check. 0x2000'0000'0000'0001 * 8 == 8 (mod
+  // 2^64), so a naive `pos + n * sizeof(T) > size` check would accept it.
+  Packer pk;
+  pk.put<std::uint64_t>(0x2000'0000'0000'0001ULL);
+  pk.put<double>(1.0);
+  auto payload = pk.finish();
+
+  Unpacker u(*payload);
+  EXPECT_THROW((void)u.get_vector<double>(), std::out_of_range);
+  PayloadReader r(payload);
+  EXPECT_THROW((void)r.get_span<double>(), std::out_of_range);
+  PayloadReader r2(payload);
+  EXPECT_THROW((void)r2.get_vector<double>(), std::out_of_range);
+}
+
+TEST(Pack, PayloadReaderBorrowsWithoutCopying) {
+  std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  Packer pk;
+  pk.put<std::uint64_t>(99);  // 8-byte header keeps the span 8-aligned
+  pk.put_span<double>(data);
+  auto payload = pk.finish();
+
+  PayloadReader r(payload);
+  EXPECT_EQ(r.get<std::uint64_t>(), 99u);
+  const auto s = r.get_span<double>();
+  ASSERT_EQ(s.size(), data.size());
+  EXPECT_TRUE(std::equal(s.begin(), s.end(), data.begin()));
+  // Genuinely zero-copy: the span points into the payload's own bytes.
+  EXPECT_EQ(reinterpret_cast<const std::byte*>(s.data()),
+            payload->data() + sizeof(std::uint64_t) + sizeof(std::uint64_t));
+  // The reader shares ownership: spans stay valid after the caller's
+  // reference goes away.
+  payload.reset();
+  EXPECT_DOUBLE_EQ(s[3], 4.0);
+}
+
+TEST(Pack, PayloadReaderRejectsMisalignedSpan) {
+  // A 4-byte header leaves the doubles at offset 12 -- misaligned. The
+  // zero-copy reader must refuse rather than hand out a UB span.
+  Packer pk;
+  pk.put<std::int32_t>(1);
+  pk.put_span<double>(std::vector<double>{1.0, 2.0});
+  auto payload = pk.finish();
+
+  PayloadReader r(payload);
+  EXPECT_EQ(r.get<std::int32_t>(), 1);
+  EXPECT_THROW((void)r.get_span<double>(), std::runtime_error);
+}
+
+TEST(BufferPool, RecyclesAcrossAcquireReleaseCycles) {
+  auto& pool = BufferPool::local();
+  pool.trim();
+  pool.reset_stats();
+
+  Bytes b = pool.acquire(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  const auto cap = b.capacity();
+  EXPECT_GE(cap, 1024u);  // rounded up to the size class
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.cached_buffers(), 1u);
+
+  // Same class comes back from the free list, not the heap.
+  Bytes c = pool.acquire(600);
+  EXPECT_EQ(c.size(), 600u);
+  EXPECT_EQ(c.capacity(), cap);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_GT(pool.stats().bytes_recycled, 0u);
+  EXPECT_GT(pool.stats().hit_rate(), 0.0);
+  pool.release(std::move(c));
+  pool.trim();
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+}
+
+TEST(BufferPool, DisabledPoolBypassesFreeLists) {
+  auto& pool = BufferPool::local();
+  pool.trim();
+  pool.reset_stats();
+  pool.set_enabled(false);
+  Bytes b = pool.acquire(512);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().discards, 1u);
+  pool.set_enabled(true);
+}
+
+TEST(BufferPool, DroppedPayloadsReturnTheirBuffers) {
+  auto& pool = BufferPool::local();
+  pool.trim();
+  pool.reset_stats();
+  {
+    auto p = pack_vector(std::vector<double>(256, 1.0));
+    EXPECT_EQ(pool.stats().releases, 0u);
+  }
+  // Payload death routed the 2 KiB buffer back into the pool.
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.cached_buffers(), 1u);
+  pool.trim();
+}
+
+TEST(Broadcast, PayloadOverloadSharesOneBufferTreeWide) {
+  constexpr int kRanks = 4;
+  std::array<const Bytes*, kRanks> seen{};
+  std::array<std::vector<double>, kRanks> values;
+  auto program = [&](Communicator& c) -> sim::Task<void> {
+    Payload pay;
+    if (c.rank() == 0) pay = pack_vector(std::vector<double>{3.5, -1.25});
+    co_await c.broadcast(0, pay, 5);
+    seen[static_cast<std::size_t>(c.rank())] = pay.get();
+    const auto s = payload_span<double>(*pay);
+    values[static_cast<std::size_t>(c.rank())].assign(s.begin(), s.end());
+  };
+  run_spmd(PlatformId::Sp1Switch, kRanks, ToolKind::Express, program);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(values[static_cast<std::size_t>(r)], (std::vector<double>{3.5, -1.25}));
+    // Zero-copy: every rank holds the SAME buffer, not a per-hop clone.
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)], seen[0]);
+  }
+}
+
+TEST(Broadcast, BytesOverloadStillMaterialisesPerRank) {
+  std::array<std::vector<double>, 3> got;
+  auto program = [&got](Communicator& c) -> sim::Task<void> {
+    Bytes b;
+    if (c.rank() == 0) b = *pack_vector(std::vector<double>{7.0, 8.0});
+    co_await c.broadcast(0, b, 5);
+    got[static_cast<std::size_t>(c.rank())] = unpack_vector<double>(b);
+  };
+  run_spmd(PlatformId::SunEthernet, 3, ToolKind::P4, program);
+  for (const auto& v : got) EXPECT_EQ(v, (std::vector<double>{7.0, 8.0}));
+}
+
+TEST(Barrier, DisseminationHandlesNonPowerOfTwoSizes) {
+  // Express uses the dissemination barrier; its partner arithmetic
+  // (rank - 2^k mod P) must hold for non-power-of-two P too.
+  for (int p : {3, 5, 6, 7}) {
+    std::vector<int> before(static_cast<std::size_t>(p), 0);
+    bool all_arrived = true;
+    auto program = [&](Communicator& c) -> sim::Task<void> {
+      // Stagger arrival so slow ranks genuinely lag.
+      co_await c.compute_flops(1e4 * (c.rank() + 1));
+      before[static_cast<std::size_t>(c.rank())] = 1;
+      co_await c.barrier();
+      // After release, every rank must observe every arrival.
+      for (int r = 0; r < c.size(); ++r) {
+        if (before[static_cast<std::size_t>(r)] != 1) all_arrived = false;
+      }
+    };
+    run_spmd(PlatformId::AlphaFddi, p, ToolKind::Express, program);
+    EXPECT_TRUE(all_arrived) << "P=" << p;
+  }
 }
 
 TEST(RunSpmd, ReportsCountersAndValidatesArgs) {

@@ -1,6 +1,7 @@
 // Unit tests for network models and platform/host substrates.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "host/platform.hpp"
@@ -53,6 +54,37 @@ TEST(SharedBus, ZeroByteMessageStillCostsAFrame) {
   const auto t = bus.transfer(0, 1, 0);
   EXPECT_GT(t, sim::TimePoint::origin());
   EXPECT_GT(bus.wire_bytes(0), 0);
+}
+
+TEST(SharedBus, ChunkedFramesClosedFormMatchesPerChunkLoop) {
+  // The closed form replaced an O(chunks) loop; pin it against the
+  // straightforward per-chunk accumulation across awkward combinations
+  // (chunk < frame, chunk == frame, chunk straddling frames, ragged tails).
+  sim::Simulation simu;
+  for (std::int64_t frame_payload : {53, 512, 1500}) {
+    net::SharedBusParams params;
+    params.frame_payload = frame_payload;
+    net::SharedBusNetwork bus(simu, "eth", params);
+    for (std::int64_t chunk : {1, 7, 53, 512, 1000, 4096}) {
+      net::ChunkProtocol protocol;
+      protocol.chunk_bytes = chunk;
+      for (std::int64_t bytes :
+           {std::int64_t{0}, std::int64_t{1}, chunk - 1, chunk, chunk + 1, 3 * chunk,
+            3 * chunk + 17, std::int64_t{100000}}) {
+        if (bytes < 0) continue;
+        std::int64_t loop_frames = 0;
+        if (bytes <= 0) {
+          loop_frames = bus.frames_for(0);
+        } else {
+          for (std::int64_t off = 0; off < bytes; off += chunk) {
+            loop_frames += bus.frames_for(std::min(chunk, bytes - off));
+          }
+        }
+        EXPECT_EQ(bus.chunked_frames(bytes, protocol), loop_frames)
+            << "frame=" << frame_payload << " chunk=" << chunk << " bytes=" << bytes;
+      }
+    }
+  }
 }
 
 TEST(Switched, DistinctPairsRunInParallel) {

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/pooled_function.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
@@ -161,6 +163,81 @@ TEST(Event, InlineAndHeapCallablesBothRunAfterMove) {
   moved_again = std::move(moved_big);
   moved_again();
   EXPECT_EQ(big_hit, 42);
+}
+
+TEST(FramePool, RecyclesFixedSizeBlocks) {
+  auto& pool = FramePool::local();
+  pool.trim();
+  pool.reset_stats();
+
+  void* a = pool.allocate(200);  // 256-byte class
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.deallocate(a, 200);
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+
+  // Anything in the same class reuses the cached block.
+  void* b = pool.allocate(129);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_GT(pool.stats().hit_rate(), 0.0);
+  pool.deallocate(b, 129);
+  pool.trim();
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+}
+
+TEST(FramePool, OversizeBlocksFallThroughToHeap) {
+  auto& pool = FramePool::local();
+  pool.trim();
+  pool.reset_stats();
+  void* p = pool.allocate(1 << 20);  // above the largest class
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.deallocate(p, 1 << 20);
+  EXPECT_EQ(pool.cached_blocks(), 0u);  // never cached
+  EXPECT_EQ(pool.stats().discards, 1u);
+}
+
+TEST(PooledFunction, InvokesMovesAndReleasesItsBlock) {
+  auto& pool = FramePool::local();
+  pool.trim();
+  pool.reset_stats();
+
+  std::array<int, 8> payload{1, 2, 3, 4, 5, 6, 7, 8};
+  int sum = 0;
+  {
+    PooledFunction<void(int)> f{[payload, &sum](int scale) {
+      for (int v : payload) sum += v * scale;
+    }};
+    EXPECT_TRUE(static_cast<bool>(f));
+    PooledFunction<void(int)> g{std::move(f)};
+    EXPECT_FALSE(static_cast<bool>(f));
+    g(2);
+  }
+  EXPECT_EQ(sum, 72);
+  // The capture block went back to the freelist, not the heap.
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  pool.trim();
+}
+
+TEST(Task, CoroutineFramesRecycleThroughTheFramePool) {
+  auto& pool = FramePool::local();
+  Simulation simu;
+  auto child = []() -> Task<int> { co_return 21; };
+  auto parent = [&child](int& out) -> Task<void> {
+    const int a = co_await child();  // child frame dies with this statement
+    const int b = co_await child();  // ...and this frame reuses its block
+    out = a + b;
+  };
+  int out = 0;
+  pool.trim();
+  pool.reset_stats();
+  simu.spawn(parent(out));
+  simu.run();
+  EXPECT_EQ(out, 42);
+  EXPECT_GE(pool.stats().releases, 2u);
+  EXPECT_GE(pool.stats().hits, 1u);
+  pool.trim();
 }
 
 TEST(Simulation, DelayAdvancesClock) {

@@ -97,5 +97,26 @@ TEST(Sweep, AppGridParallelMatchesSerialElementForElement) {
   }
 }
 
+TEST(Sweep, PoolTelemetryAggregatesAcrossWorkers) {
+  // Any grid that moves payloads should show fleet-wide pool activity, and
+  // the steady-state recycling rate should be high: after each worker's
+  // first few cells, every payload buffer is a pool hit.
+  std::vector<TplCell> cells;
+  for (int i = 0; i < 32; ++i) {
+    cells.push_back({Primitive::GlobalSum, PlatformId::AlphaFddi, ToolKind::Express, 0, 4, 4096});
+  }
+  (void)sweep_tpl_ms(cells, 4);
+  const auto stats = last_sweep_pool_stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_GT(stats.releases, 0u);
+  EXPECT_GT(stats.bytes_recycled, 0u);
+  EXPECT_GT(stats.hit_rate(), 0.9);
+
+  // The aggregate is per-run: a fresh sweep resets it.
+  (void)sweep_tpl_ms({{Primitive::SendRecv, PlatformId::SunEthernet, ToolKind::P4, 64, 2, 0}}, 2);
+  const auto fresh = last_sweep_pool_stats();
+  EXPECT_LT(fresh.hits + fresh.misses, stats.hits + stats.misses);
+}
+
 }  // namespace
 }  // namespace pdc::eval
