@@ -61,7 +61,7 @@ const apps::jpeg::Image& cached_image(int size, std::uint64_t seed) {
 }  // namespace
 
 double app_time_s(host::PlatformId platform, mp::ToolKind tool, AppKind app, int procs,
-                  const AplConfig& cfg) {
+                  const AplConfig& cfg, const fault::FaultPlan& faults) {
   mp::RankProgram program;
   switch (app) {
     case AppKind::Jpeg: {
@@ -89,6 +89,9 @@ double app_time_s(host::PlatformId platform, mp::ToolKind tool, AppKind app, int
                                               /*gather=*/false);
       };
       break;
+  }
+  if (faults.enabled()) {
+    return mp::run_spmd_faulty(platform, procs, tool, faults, program).elapsed.seconds();
   }
   return mp::run_spmd(platform, procs, tool, program).elapsed.seconds();
 }

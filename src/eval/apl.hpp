@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "host/platform.hpp"
 #include "mp/tool.hpp"
 
@@ -29,7 +30,11 @@ struct AplConfig {
 };
 
 /// Simulated execution time (seconds) of `app` with `procs` processes.
+/// An armed `faults` plan runs the app over a FaultyNetwork with the
+/// reliable transport engaged; the default (disabled) plan reproduces the
+/// fault-free timing bit-for-bit.
 [[nodiscard]] double app_time_s(host::PlatformId platform, mp::ToolKind tool, AppKind app,
-                                int procs, const AplConfig& cfg = {});
+                                int procs, const AplConfig& cfg = {},
+                                const fault::FaultPlan& faults = {});
 
 }  // namespace pdc::eval

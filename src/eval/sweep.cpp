@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include <mutex>
+
+#include "mp/api.hpp"
 #include "mp/buffer_pool.hpp"
 
 namespace pdc::eval {
@@ -21,15 +24,24 @@ std::atomic<std::uint64_t> g_pool_releases{0};
 std::atomic<std::uint64_t> g_pool_discards{0};
 std::atomic<std::uint64_t> g_pool_bytes{0};
 
+// Fleet-wide fault telemetry, same lifecycle. Folded under a mutex (once
+// per worker per sweep, so contention is irrelevant); sums are
+// order-independent, hence thread-count-independent.
+std::mutex g_fault_mu;
+SweepFaultStats g_fault_stats;
+
 void reset_pool_aggregate() {
   g_pool_hits = 0;
   g_pool_misses = 0;
   g_pool_releases = 0;
   g_pool_discards = 0;
   g_pool_bytes = 0;
+  const std::scoped_lock lock(g_fault_mu);
+  g_fault_stats = {};
 }
 
-void fold_pool_delta(const mp::BufferPool::Stats& before) {
+void fold_pool_delta(const mp::BufferPool::Stats& before,
+                     const mp::FaultTelemetry& fault_before) {
   const auto& now = mp::BufferPool::local().stats();
   g_pool_hits.fetch_add(now.hits - before.hits, std::memory_order_relaxed);
   g_pool_misses.fetch_add(now.misses - before.misses, std::memory_order_relaxed);
@@ -37,6 +49,21 @@ void fold_pool_delta(const mp::BufferPool::Stats& before) {
   g_pool_discards.fetch_add(now.discards - before.discards, std::memory_order_relaxed);
   g_pool_bytes.fetch_add(now.bytes_recycled - before.bytes_recycled,
                          std::memory_order_relaxed);
+
+  mp::FaultTelemetry delta = mp::transport_accumulator();
+  delta.transport.retransmits -= fault_before.transport.retransmits;
+  delta.transport.drops_seen -= fault_before.transport.drops_seen;
+  delta.transport.corrupt_rejected -= fault_before.transport.corrupt_rejected;
+  delta.transport.dup_discarded -= fault_before.transport.dup_discarded;
+  delta.injected.frames -= fault_before.injected.frames;
+  delta.injected.drops -= fault_before.injected.drops;
+  delta.injected.flap_drops -= fault_before.injected.flap_drops;
+  delta.injected.corruptions -= fault_before.injected.corruptions;
+  delta.injected.duplicates -= fault_before.injected.duplicates;
+  delta.injected.reorders -= fault_before.injected.reorders;
+  const std::scoped_lock lock(g_fault_mu);
+  g_fault_stats.transport += delta.transport;
+  g_fault_stats.injected += delta.injected;
 }
 
 }  // namespace
@@ -44,6 +71,11 @@ void fold_pool_delta(const mp::BufferPool::Stats& before) {
 SweepPoolStats last_sweep_pool_stats() {
   return {g_pool_hits.load(), g_pool_misses.load(), g_pool_releases.load(),
           g_pool_discards.load(), g_pool_bytes.load()};
+}
+
+SweepFaultStats last_sweep_fault_stats() {
+  const std::scoped_lock lock(g_fault_mu);
+  return g_fault_stats;
 }
 
 unsigned sweep_threads(unsigned requested) {
@@ -64,8 +96,9 @@ void parallel_for_index(std::size_t n, unsigned threads,
       std::min<std::size_t>(n, static_cast<std::size_t>(sweep_threads(threads)));
   if (workers <= 1) {
     const auto pool_before = mp::BufferPool::local().stats();
+    const auto fault_before = mp::transport_accumulator();
     for (std::size_t i = 0; i < n; ++i) body(i);
-    fold_pool_delta(pool_before);
+    fold_pool_delta(pool_before, fault_before);
     return;
   }
 
@@ -74,6 +107,7 @@ void parallel_for_index(std::size_t n, unsigned threads,
   std::vector<std::exception_ptr> errors(n);
   auto worker = [&]() noexcept {
     const auto pool_before = mp::BufferPool::local().stats();
+    const auto fault_before = mp::transport_accumulator();
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
@@ -84,7 +118,7 @@ void parallel_for_index(std::size_t n, unsigned threads,
         failed.store(true, std::memory_order_relaxed);
       }
     }
-    fold_pool_delta(pool_before);
+    fold_pool_delta(pool_before, fault_before);
   };
 
   std::vector<std::thread> pool;
@@ -103,13 +137,15 @@ void parallel_for_index(std::size_t n, unsigned threads,
 std::optional<double> tpl_cell_ms(const TplCell& cell) {
   switch (cell.primitive) {
     case Primitive::SendRecv:
-      return sendrecv_ms(cell.platform, cell.tool, cell.bytes);
+      return sendrecv_ms(cell.platform, cell.tool, cell.bytes, cell.faults);
     case Primitive::Broadcast:
-      return broadcast_ms(cell.platform, cell.tool, cell.procs, cell.bytes);
+      return broadcast_ms(cell.platform, cell.tool, cell.procs, cell.bytes, cell.faults);
     case Primitive::Ring:
-      return ring_ms(cell.platform, cell.tool, cell.procs, cell.bytes);
+      return ring_ms(cell.platform, cell.tool, cell.procs, cell.bytes, /*rounds=*/4,
+                     cell.faults);
     case Primitive::GlobalSum:
-      return global_sum_ms(cell.platform, cell.tool, cell.procs, cell.global_sum_ints);
+      return global_sum_ms(cell.platform, cell.tool, cell.procs, cell.global_sum_ints,
+                           cell.faults);
   }
   throw std::logic_error("tpl_cell_ms: unknown primitive");
 }
@@ -121,7 +157,7 @@ std::vector<std::optional<double>> sweep_tpl_ms(const std::vector<TplCell>& cell
 }
 
 double app_cell_s(const AppCell& cell, const AplConfig& cfg) {
-  return app_time_s(cell.platform, cell.tool, cell.app, cell.procs, cfg);
+  return app_time_s(cell.platform, cell.tool, cell.app, cell.procs, cfg, cell.faults);
 }
 
 std::vector<double> sweep_app_s(const std::vector<AppCell>& cells, const AplConfig& cfg,

@@ -17,7 +17,9 @@
 #include "eval/apl.hpp"
 #include "eval/criteria.hpp"
 #include "eval/tpl.hpp"
+#include "fault/plan.hpp"
 #include "host/platform.hpp"
+#include "mp/runtime.hpp"
 #include "mp/tool.hpp"
 
 namespace pdc::eval {
@@ -58,6 +60,17 @@ struct SweepPoolStats {
 };
 [[nodiscard]] SweepPoolStats last_sweep_pool_stats();
 
+/// Aggregated fault-injection + reliable-transport activity across every
+/// worker of the most recent parallel_for_index / sweep_* call (reset at
+/// the start of each run). All zero for a sweep of fault-free cells. The
+/// totals are order-independent sums, so they are identical for any thread
+/// count -- the determinism test pins that.
+struct SweepFaultStats {
+  mp::TransportStats transport{};
+  fault::InjectionStats injected{};
+};
+[[nodiscard]] SweepFaultStats last_sweep_fault_stats();
+
 /// Map i -> fn(i) over [0, n), results in index order.
 template <typename R, typename Fn>
 [[nodiscard]] std::vector<R> parallel_map(std::size_t n, Fn&& fn, unsigned threads = 0) {
@@ -67,7 +80,9 @@ template <typename R, typename Fn>
 }
 
 /// One TPL grid cell: a primitive measured on (platform, tool, msg_size,
-/// procs). `global_sum_ints` is the vector length for GlobalSum cells.
+/// procs). `global_sum_ints` is the vector length for GlobalSum cells;
+/// `faults` (default: disabled, bit-identical to fault-free) adds the
+/// robustness axis.
 struct TplCell {
   Primitive primitive{Primitive::SendRecv};
   host::PlatformId platform{host::PlatformId::SunEthernet};
@@ -75,6 +90,7 @@ struct TplCell {
   std::int64_t bytes{0};
   int procs{2};
   std::int64_t global_sum_ints{0};
+  fault::FaultPlan faults{};
 };
 
 /// Measure one cell serially (simulated milliseconds); nullopt when the
@@ -85,12 +101,14 @@ struct TplCell {
 [[nodiscard]] std::vector<std::optional<double>> sweep_tpl_ms(
     const std::vector<TplCell>& cells, unsigned threads = 0);
 
-/// One APL grid cell: an application on (platform, tool, procs).
+/// One APL grid cell: an application on (platform, tool, procs), optionally
+/// under a fault plan.
 struct AppCell {
   host::PlatformId platform{host::PlatformId::AlphaFddi};
   mp::ToolKind tool{mp::ToolKind::P4};
   AppKind app{AppKind::Jpeg};
   int procs{1};
+  fault::FaultPlan faults{};
 };
 
 /// Measure one cell serially (simulated seconds).

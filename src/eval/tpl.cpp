@@ -15,9 +15,19 @@ constexpr int kTag = 42;
   return mp::Bytes(static_cast<std::size_t>(bytes), std::byte{0x5A});
 }
 
+/// Dispatch on the fault plan: disabled plans take the plain path so their
+/// timings stay bit-identical to the pre-fault API.
+[[nodiscard]] mp::RunOutcome run(host::PlatformId platform, int procs, mp::ToolKind tool,
+                                 const fault::FaultPlan& faults,
+                                 const mp::RankProgram& program) {
+  if (faults.enabled()) return mp::run_spmd_faulty(platform, procs, tool, faults, program);
+  return mp::run_spmd(platform, procs, tool, program);
+}
+
 }  // namespace
 
-double sendrecv_ms(host::PlatformId platform, mp::ToolKind tool, std::int64_t bytes) {
+double sendrecv_ms(host::PlatformId platform, mp::ToolKind tool, std::int64_t bytes,
+                   const fault::FaultPlan& faults) {
   auto program = [bytes](mp::Communicator& c) -> sim::Task<void> {
     if (c.rank() == 0) {
       co_await c.send(1, kTag, mp::make_payload(filled(bytes)));
@@ -27,21 +37,21 @@ double sendrecv_ms(host::PlatformId platform, mp::ToolKind tool, std::int64_t by
       co_await c.send(0, kTag + 1, m.data);
     }
   };
-  return mp::run_spmd(platform, 2, tool, program).elapsed.millis();
+  return run(platform, 2, tool, faults, program).elapsed.millis();
 }
 
 double broadcast_ms(host::PlatformId platform, mp::ToolKind tool, int procs,
-                    std::int64_t bytes) {
+                    std::int64_t bytes, const fault::FaultPlan& faults) {
   auto program = [bytes](mp::Communicator& c) -> sim::Task<void> {
     mp::Bytes data;
     if (c.rank() == 0) data = filled(bytes);
     co_await c.broadcast(0, data, kTag);
   };
-  return mp::run_spmd(platform, procs, tool, program).elapsed.millis();
+  return run(platform, procs, tool, faults, program).elapsed.millis();
 }
 
 double ring_ms(host::PlatformId platform, mp::ToolKind tool, int procs, std::int64_t bytes,
-               int rounds) {
+               int rounds, const fault::FaultPlan& faults) {
   auto program = [bytes, procs, rounds](mp::Communicator& c) -> sim::Task<void> {
     const int next = (c.rank() + 1) % procs;
     const int prev = (c.rank() + procs - 1) % procs;
@@ -50,11 +60,11 @@ double ring_ms(host::PlatformId platform, mp::ToolKind tool, int procs, std::int
       (void)co_await c.recv(prev, kTag + r);
     }
   };
-  return mp::run_spmd(platform, procs, tool, program).elapsed.millis();
+  return run(platform, procs, tool, faults, program).elapsed.millis();
 }
 
 std::optional<double> global_sum_ms(host::PlatformId platform, mp::ToolKind tool, int procs,
-                                    std::int64_t n_integers) {
+                                    std::int64_t n_integers, const fault::FaultPlan& faults) {
   if (mp::tool_profile(tool, platform).reduce_algo ==
       mp::ToolProfile::ReduceAlgo::Unsupported) {
     return std::nullopt;  // PVM: no global operation (paper Section 3.2.4)
@@ -63,14 +73,15 @@ std::optional<double> global_sum_ms(host::PlatformId platform, mp::ToolKind tool
     std::vector<std::int32_t> v(static_cast<std::size_t>(n_integers), c.rank() + 1);
     co_await c.global_sum(v);
   };
-  return mp::run_spmd(platform, procs, tool, program).elapsed.millis();
+  return run(platform, procs, tool, faults, program).elapsed.millis();
 }
 
-double barrier_ms(host::PlatformId platform, mp::ToolKind tool, int procs, int reps) {
+double barrier_ms(host::PlatformId platform, mp::ToolKind tool, int procs, int reps,
+                  const fault::FaultPlan& faults) {
   auto program = [reps](mp::Communicator& c) -> sim::Task<void> {
     for (int i = 0; i < reps; ++i) co_await c.barrier();
   };
-  return mp::run_spmd(platform, procs, tool, program).elapsed.millis() / reps;
+  return run(platform, procs, tool, faults, program).elapsed.millis() / reps;
 }
 
 const std::vector<std::int64_t>& paper_message_sizes() {

@@ -1,0 +1,116 @@
+// pdceval -- declarative fault plans.
+//
+// A FaultPlan is pure data: per-link fault rates, optional per-link
+// overrides, and timed link-flap windows. Paired with its embedded seed it
+// fully determines every fault the decorator will inject, so a run is
+// bit-reproducible from (FaultPlan, workload) alone -- the plan is to fault
+// injection what a ToolProfile is to tool semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace pdc::fault {
+
+/// Fault rates for one (directed) link. Rates are per-frame probabilities
+/// in [0, 1); jitter adds a uniform extra delay in [0, reorder_jitter] to a
+/// `reorder_rate` fraction of frames (enough to overtake later frames on a
+/// fast link, which is what "reordering" means to the transport).
+struct LinkFaults {
+  double drop_rate{0.0};
+  double corrupt_rate{0.0};
+  double duplicate_rate{0.0};
+  double reorder_rate{0.0};
+  sim::Duration reorder_jitter{sim::microseconds(0)};
+
+  [[nodiscard]] constexpr bool any() const noexcept {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0;
+  }
+};
+
+/// Override the default LinkFaults for one directed link.
+struct LinkOverride {
+  net::NodeId src{-1};
+  net::NodeId dst{-1};
+  LinkFaults faults{};
+};
+
+/// During [start, end], frames matching (a, b) are dropped outright:
+/// a normal node pair matches either direction; `b == -1` takes node `a`
+/// off the air entirely; `a == -1 && b == -1` blacks out the whole network.
+struct FlapWindow {
+  net::NodeId a{-1};
+  net::NodeId b{-1};
+  sim::TimePoint start{};
+  sim::TimePoint end{};
+
+  [[nodiscard]] bool covers(net::NodeId src, net::NodeId dst, sim::TimePoint t) const noexcept {
+    if (t < start || t > end) return false;
+    if (a < 0 && b < 0) return true;                              // total blackout
+    if (b < 0) return src == a || dst == a;                       // node outage
+    return (src == a && dst == b) || (src == b && dst == a);      // link (both ways)
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed{0xFA17};
+  LinkFaults link{};                      ///< default for every link
+  std::vector<LinkOverride> overrides;    ///< later entries win
+  std::vector<FlapWindow> flaps;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    if (link.any() || !flaps.empty()) return true;
+    for (const auto& o : overrides) {
+      if (o.faults.any()) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const LinkFaults& faults_for(net::NodeId src, net::NodeId dst) const noexcept {
+    const LinkFaults* best = &link;
+    for (const auto& o : overrides) {
+      if (o.src == src && o.dst == dst) best = &o.faults;
+    }
+    return *best;
+  }
+
+  /// Uniform rates on every link -- the common soak-test shape.
+  [[nodiscard]] static FaultPlan uniform(double drop, double corrupt = 0.0, double duplicate = 0.0,
+                                         double reorder = 0.0,
+                                         sim::Duration jitter = sim::microseconds(500),
+                                         std::uint64_t seed = 0xFA17) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.link = LinkFaults{.drop_rate = drop,
+                           .corrupt_rate = corrupt,
+                           .duplicate_rate = duplicate,
+                           .reorder_rate = reorder,
+                           .reorder_jitter = jitter};
+    return plan;
+  }
+};
+
+/// What the decorator actually did, for telemetry and test assertions.
+struct InjectionStats {
+  std::int64_t frames{0};        ///< frames offered to the faulty wire
+  std::int64_t drops{0};         ///< random per-link drops
+  std::int64_t flap_drops{0};    ///< drops caused by a flap window
+  std::int64_t corruptions{0};
+  std::int64_t duplicates{0};
+  std::int64_t reorders{0};      ///< frames given extra jitter
+
+  InjectionStats& operator+=(const InjectionStats& o) noexcept {
+    frames += o.frames;
+    drops += o.drops;
+    flap_drops += o.flap_drops;
+    corruptions += o.corruptions;
+    duplicates += o.duplicates;
+    reorders += o.reorders;
+    return *this;
+  }
+};
+
+}  // namespace pdc::fault

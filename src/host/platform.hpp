@@ -60,6 +60,17 @@ class Cluster {
   [[nodiscard]] Node& node(net::NodeId i) { return *nodes_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] net::Network& network() noexcept { return *network_; }
 
+  /// Detach the platform network so a caller can wrap it in a decorator
+  /// (e.g. fault::FaultyNetwork) and hand it back via install_network().
+  /// The cluster must not be used for traffic while detached, and any
+  /// Runtime must be built *after* the swap (it caches reliability).
+  [[nodiscard]] std::unique_ptr<net::Network> take_network() noexcept {
+    return std::move(network_);
+  }
+  void install_network(std::unique_ptr<net::Network> network) noexcept {
+    network_ = std::move(network);
+  }
+
  private:
   sim::Simulation& sim_;
   PlatformId platform_;

@@ -1,5 +1,10 @@
 #include "mp/api.hpp"
 
+#include <memory>
+#include <utility>
+
+#include "fault/faulty_network.hpp"
+
 namespace pdc::mp {
 
 namespace {
@@ -16,6 +21,7 @@ RunOutcome drive(sim::Simulation& simulation, Runtime& runtime, int nprocs, Tool
       .events = simulation.events_processed(),
       .messages = runtime.messages_sent(),
       .payload_bytes = runtime.payload_bytes_sent(),
+      .transport = runtime.transport_total(),
   };
 }
 
@@ -35,6 +41,28 @@ RunOutcome run_spmd(host::PlatformId platform, int nprocs, ToolKind tool,
   host::Cluster cluster(simulation, platform, nprocs);
   Runtime runtime(cluster, tool);
   return drive(simulation, runtime, nprocs, tool, program);
+}
+
+RunOutcome run_spmd_faulty(host::PlatformId platform, int nprocs, ToolKind tool,
+                           const fault::FaultPlan& plan, const RankProgram& program) {
+  sim::Simulation simulation;
+  host::Cluster cluster(simulation, platform, nprocs);
+  auto faulty = std::make_unique<fault::FaultyNetwork>(simulation, cluster.take_network(), plan);
+  fault::FaultyNetwork* wire = faulty.get();
+  cluster.install_network(std::move(faulty));
+  // Built after the swap: the Runtime caches the wire's reliability.
+  Runtime runtime(cluster, tool);
+  RunOutcome out = drive(simulation, runtime, nprocs, tool, program);
+  out.injected = wire->stats();
+  auto& acc = transport_accumulator();
+  acc.transport += out.transport;
+  acc.injected += out.injected;
+  return out;
+}
+
+FaultTelemetry& transport_accumulator() noexcept {
+  thread_local FaultTelemetry telemetry;
+  return telemetry;
 }
 
 }  // namespace pdc::mp

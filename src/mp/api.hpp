@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "fault/plan.hpp"
 #include "host/platform.hpp"
 #include "mp/communicator.hpp"
 #include "mp/runtime.hpp"
@@ -24,6 +25,8 @@ struct RunOutcome {
   std::uint64_t events{0};          ///< simulator events processed
   std::uint64_t messages{0};        ///< messages through the fabric
   std::uint64_t payload_bytes{0};   ///< application payload carried
+  TransportStats transport{};       ///< reliability work, summed over ranks
+  fault::InjectionStats injected{}; ///< faults the wire actually injected
 };
 
 /// Build a cluster of `nprocs` nodes of `platform`, run `program` on every
@@ -35,5 +38,24 @@ RunOutcome run_spmd(host::PlatformId platform, int nprocs, ToolKind tool,
 /// As above, with an explicit (possibly hypothetical) tool cost profile.
 RunOutcome run_spmd_with_profile(host::PlatformId platform, int nprocs, ToolKind label,
                                  const ToolProfile& profile, const RankProgram& program);
+
+/// As run_spmd(), but with the platform network wrapped in a
+/// fault::FaultyNetwork driven by `plan`. A disabled plan (all rates zero,
+/// no flap windows) takes the ordinary reliable path and produces
+/// bit-identical timings to run_spmd(); an armed plan switches the kernel
+/// to its reliable transport (sequencing, CRC, ack/retransmit). Throws
+/// TransportFailure if a message exhausts its retransmission budget.
+RunOutcome run_spmd_faulty(host::PlatformId platform, int nprocs, ToolKind tool,
+                           const fault::FaultPlan& plan, const RankProgram& program);
+
+/// Thread-local accumulator of per-run transport + injection stats, summed
+/// over every run_spmd_faulty() call on this thread. The sweep runner
+/// snapshots it around worker batches to aggregate fleet-wide fault
+/// telemetry without touching the deterministic result path.
+struct FaultTelemetry {
+  TransportStats transport{};
+  fault::InjectionStats injected{};
+};
+[[nodiscard]] FaultTelemetry& transport_accumulator() noexcept;
 
 }  // namespace pdc::mp

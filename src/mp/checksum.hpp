@@ -1,0 +1,37 @@
+// pdceval -- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over payload
+// bytes. Used by the reliable transport to reject corrupted frames: the
+// fault decorator models corruption by perturbing the frame's transmitted
+// CRC (payload buffers are immutable and shared), and the receiver detects
+// the mismatch exactly as a real NIC would.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pdc::mp {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC32 of `data` (check value: crc32("123456789") == 0xCBF43926).
+[[nodiscard]] constexpr std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = detail::kCrc32Table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pdc::mp

@@ -91,8 +91,11 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
     const sim::Duration per_packet_recv = packets_for(n) * prof.per_packet_recv;
     rt_.sim().schedule_at(e1, [rt, src_rank, dst, n, background, recv_copies,
                                per_packet_recv, msg = std::move(msg)]() mutable {
+      // Hoist before the call: `msg` is moved into the continuation, and
+      // argument evaluation order is unspecified.
+      Payload frame = msg.data;
       rt->kernel_transfer(
-          src_rank, dst, n,
+          src_rank, dst, n, std::move(frame),
           [rt, dst, n, background, recv_copies, per_packet_recv,
            msg = std::move(msg)](sim::TimePoint t2) mutable {
             if (background) {
@@ -116,9 +119,11 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
     // PvmRouteDirect: task-to-task TCP, no daemons, no fragment/ack wire
     // protocol; the send stays asynchronous (buffer handed to the kernel).
     Runtime* rt = &rt_;
-    rt_.kernel_transfer(rank_, dst, n, [rt, dst, msg = std::move(msg)](sim::TimePoint t2) mutable {
-      rt->deliver_at(t2, dst, std::move(msg));
-    });
+    Payload frame = msg.data;
+    rt_.kernel_transfer(rank_, dst, n, std::move(frame),
+                        [rt, dst, msg = std::move(msg)](sim::TimePoint t2) mutable {
+                          rt->deliver_at(t2, dst, std::move(msg));
+                        });
     co_return;
   }
 
@@ -148,8 +153,9 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
     rt_.sim().schedule_at(
         d1, [rt, src_rank, dst, n, service, latency, daemon_hop, wire_protocol,
              msg = std::move(msg)]() mutable {
+          Payload frame = msg.data;
           rt->kernel_transfer(
-              src_rank, dst, n,
+              src_rank, dst, n, std::move(frame),
               [rt, dst, service, latency, daemon_hop, msg = std::move(msg)](
                   sim::TimePoint) mutable {
                 const sim::TimePoint d2 =
@@ -166,8 +172,9 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
   const bool background = prof.recv_in_background;
   const double recv_copies = prof.recv_copies;
   const sim::Duration per_packet_recv = packets_for(n) * prof.per_packet_recv;
+  Payload frame = msg.data;
   const sim::TimePoint t1 = rt_.kernel_transfer(
-      rank_, dst, n,
+      rank_, dst, n, std::move(frame),
       [rt, dst, n, background, recv_copies, per_packet_recv,
        msg = std::move(msg)](sim::TimePoint t2) mutable {
         if (background) {

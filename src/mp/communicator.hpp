@@ -35,6 +35,12 @@ class Communicator {
   [[nodiscard]] host::Node& node() { return rt_.cluster().node(rank_); }
   [[nodiscard]] const ToolProfile& profile() const noexcept { return rt_.profile(); }
 
+  /// Reliability work the transport did on this rank's behalf (all zero on
+  /// a fault-free wire).
+  [[nodiscard]] const TransportStats& transport_stats() const {
+    return rt_.transport_stats(rank_);
+  }
+
   // -- point to point ------------------------------------------------------
 
   /// Send `payload` to rank `dst` with `tag`. Blocking semantics follow the

@@ -6,10 +6,20 @@
 // kernel transfer pipeline: sender stack -> wire -> receiver stack, as a
 // chain of scheduled events so every resource reservation happens at its
 // own moment in simulated time (exact FIFO queueing).
+//
+// On a reliable wire (every catalogued physical network) the pipeline is
+// exactly that three-hop chain. When the cluster's network reports
+// `reliable() == false` (the fault-injection decorator with an armed plan)
+// the kernel switches to a reliable transport: per-link sequence numbers,
+// CRC32 on the payload, receiver-side dedup and in-order release, and
+// ack/timeout/retransmission with capped exponential backoff -- all as
+// scheduled events on the same queue, so runs stay bit-reproducible.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "host/platform.hpp"
@@ -23,6 +33,33 @@
 namespace pdc::mp {
 
 class Communicator;
+
+/// Reliability work performed by one rank's transport (all zero on a
+/// reliable wire). `drops_seen` counts frames this rank transmitted that
+/// the wire lost (data frames at the sender, acks at the receiver);
+/// `corrupt_rejected` and `dup_discarded` count at the receiving rank.
+struct TransportStats {
+  std::int64_t retransmits{0};
+  std::int64_t drops_seen{0};
+  std::int64_t corrupt_rejected{0};
+  std::int64_t dup_discarded{0};
+
+  TransportStats& operator+=(const TransportStats& o) noexcept {
+    retransmits += o.retransmits;
+    drops_seen += o.drops_seen;
+    corrupt_rejected += o.corrupt_rejected;
+    dup_discarded += o.dup_discarded;
+    return *this;
+  }
+  friend bool operator==(const TransportStats&, const TransportStats&) = default;
+};
+
+/// A message exhausted its retransmission budget (the link is effectively
+/// down for longer than the transport is willing to wait).
+class TransportFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Runtime {
  public:
@@ -60,10 +97,12 @@ class Runtime {
   /// Push `bytes` through sender stack -> network -> receiver stack,
   /// starting now. Returns the sender-stack completion time (what a
   /// blocking send waits for); invokes `delivered` (via the scheduler) when
-  /// the receiver's kernel has the data. `chunked` selects the fragment+ack
-  /// wire protocol (PVM daemon traffic). The continuation rides in a
+  /// the receiver's kernel has the data. `wire_data` is the payload the
+  /// frame carries (checksummed by the reliable transport; may be null for
+  /// overhead-only transfers). `chunked` selects the fragment+ack wire
+  /// protocol (PVM daemon traffic). The continuation rides in a
   /// pool-backed callable so per-message delivery never hits malloc.
-  sim::TimePoint kernel_transfer(int src, int dst, std::int64_t bytes,
+  sim::TimePoint kernel_transfer(int src, int dst, std::int64_t bytes, Payload wire_data,
                                  sim::PooledFunction<void(sim::TimePoint)> delivered,
                                  std::optional<net::ChunkProtocol> chunked = std::nullopt);
 
@@ -74,15 +113,49 @@ class Runtime {
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t payload_bytes_sent() const noexcept { return payload_bytes_; }
 
+  /// false iff the cluster network injects faults (cached at construction;
+  /// wrap the network *before* building the Runtime).
+  [[nodiscard]] bool reliable_wire() const noexcept { return reliable_wire_; }
+  [[nodiscard]] const TransportStats& transport_stats(int rank) const {
+    return transport_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] TransportStats transport_total() const noexcept;
+
  private:
+  struct Flight;  // one reliable-transport message in flight (runtime.cpp)
+
+  /// Transport state of one directed link: the sender's next sequence
+  /// number and the receiver's in-order release cursor + reorder buffer.
+  struct LinkState {
+    std::uint64_t next_seq{0};
+    std::uint64_t rx_next{0};
+    std::map<std::uint64_t, std::shared_ptr<Flight>> rx_held;
+  };
+
+  [[nodiscard]] LinkState& link(int src, int dst) {
+    return links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size()) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  void reliable_transfer(std::shared_ptr<Flight> flight, sim::TimePoint at);
+  void transmit_attempt(const std::shared_ptr<Flight>& flight);
+  void arm_retransmit(const std::shared_ptr<Flight>& flight, sim::TimePoint at);
+  void on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t wire_crc);
+  void send_ack(const std::shared_ptr<Flight>& flight);
+  void release_to_receiver(const std::shared_ptr<Flight>& flight);
+  [[nodiscard]] sim::Duration rto(const Flight& flight) const noexcept;
+
   host::Cluster& cluster_;
   ToolKind kind_;
   ToolProfile profile_;
+  bool reliable_wire_;
   std::vector<std::unique_ptr<sim::Mailbox<Message>>> mailboxes_;
   std::vector<std::unique_ptr<sim::SerialResource>> daemons_;
   std::vector<std::unique_ptr<sim::SerialResource>> rx_engines_;
   std::vector<std::unique_ptr<sim::SerialResource>> tx_engines_;
   std::vector<std::unique_ptr<Communicator>> comms_;
+  std::vector<LinkState> links_;        // n*n, row-major by (src, dst)
+  std::vector<TransportStats> transport_;  // per rank
   std::uint64_t messages_sent_{0};
   std::uint64_t payload_bytes_{0};
 

@@ -26,6 +26,19 @@ struct ChunkProtocol {
   sim::Duration turnaround{sim::microseconds(250)};
 };
 
+/// What actually happened to one frame on the wire. The timing-only
+/// `transfer()` API answers "when would the last byte arrive"; `transmit()`
+/// additionally reports the frame's fate, which is always "delivered
+/// intact" on the catalogued physical networks and becomes interesting
+/// under the fault-injection decorator (`pdc::fault::FaultyNetwork`).
+struct Delivery {
+  sim::TimePoint arrival;        ///< last byte at dst's NIC (includes reorder jitter)
+  bool dropped{false};           ///< frame lost in transit; nothing arrives
+  bool corrupted{false};         ///< arrives, but payload bits flipped (CRC-detectable)
+  bool duplicated{false};        ///< a stale second copy also arrives
+  sim::TimePoint dup_arrival;    ///< arrival of the duplicate (when duplicated)
+};
+
 class Network {
  public:
   virtual ~Network() = default;
@@ -40,6 +53,29 @@ class Network {
                                           const ChunkProtocol& /*protocol*/) {
     return transfer(src, dst, bytes);
   }
+
+  /// As transfer(), but reporting the frame's fate as well as its timing.
+  /// Physical networks always deliver intact; the fault decorator overrides
+  /// this to inject drops/corruption/duplication/reordering. The kernel
+  /// transport uses this entry point exclusively, so fault behaviour stays
+  /// in one place.
+  virtual Delivery transmit(NodeId src, NodeId dst, std::int64_t bytes) {
+    return Delivery{.arrival = transfer(src, dst, bytes), .dup_arrival = {}};
+  }
+
+  /// transmit() for the fragment+ack wire protocol (fault granularity is
+  /// the whole message: one fate per chunked transfer).
+  virtual Delivery transmit_chunked(NodeId src, NodeId dst, std::int64_t bytes,
+                                    const ChunkProtocol& protocol) {
+    return Delivery{.arrival = transfer_chunked(src, dst, bytes, protocol), .dup_arrival = {}};
+  }
+
+  /// true: every frame is delivered intact, in FIFO order per link, exactly
+  /// once -- the kernel transport may skip sequence/checksum/ack machinery
+  /// entirely (and does, keeping fault-free timings bit-identical to the
+  /// pre-fault kernel). The fault decorator returns false when its plan has
+  /// any fault armed.
+  [[nodiscard]] virtual bool reliable() const noexcept { return true; }
 
   /// Nominal line rate in bits/s (for reporting).
   [[nodiscard]] virtual double line_rate_bps() const noexcept = 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace pdc::sim {
 
@@ -45,5 +46,26 @@ class Rng {
  private:
   std::uint64_t state_;
 };
+
+/// Seed of an independent *named* stream derived from a base seed.
+///
+/// Every RNG consumer (fault injection, workload generation, app sampling)
+/// must draw from its own named stream rather than sharing one `Rng`:
+/// shared streams couple consumers, so attaching a new one (e.g. enabling a
+/// fault plan) would shift every later draw of the others and silently
+/// change app-level results. The label's FNV-1a hash is mixed with the base
+/// seed through two SplitMix steps, so streams for distinct labels are
+/// decorrelated even for adjacent seeds.
+[[nodiscard]] constexpr std::uint64_t named_stream(std::uint64_t seed,
+                                                  std::string_view label) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64-bit offset basis
+  for (const char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x00000100000001B3ULL;
+  }
+  Rng mix(seed ^ h);
+  (void)mix.next_u64();
+  return mix.next_u64();
+}
 
 }  // namespace pdc::sim

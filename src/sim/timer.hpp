@@ -1,0 +1,58 @@
+// pdceval -- one-shot cancellable timer on the event queue.
+//
+// `arm(at, fn)` schedules `fn` for `at`; `cancel()` (or a later re-arm)
+// makes the pending callback a no-op. The queued event itself is not
+// removed -- the three-lane queue has no random-access erase -- so a
+// cancelled timer still pops (and therefore holds the simulated clock open)
+// at its original deadline. Users that care about makespan, like the
+// reliable transport's retransmission timers, should arm a timer only when
+// it is expected to fire; cancel() exists for the "overtaken by a late
+// acknowledgement" corner, not as the normal completion path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace pdc::sim {
+
+class Timer {
+ public:
+  explicit Timer(Simulation& sim) : sim_(&sim), state_(std::make_shared<State>()) {}
+
+  /// Schedule `fn` at absolute time `at` (>= now). Re-arming cancels any
+  /// previously armed callback.
+  template <typename F>
+  void arm(TimePoint at, F fn) {
+    ++state_->generation;
+    state_->armed = true;
+    sim_->schedule_at(at, [s = state_, want = state_->generation, fn = std::move(fn)]() mutable {
+      if (s->generation != want || !s->armed) return;  // cancelled or superseded
+      s->armed = false;
+      fn();
+    });
+  }
+
+  /// Prevent a pending callback from running (the queued no-op still pops
+  /// at its deadline; see the header comment).
+  void cancel() noexcept {
+    ++state_->generation;
+    state_->armed = false;
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return state_->armed; }
+
+ private:
+  struct State {
+    std::uint64_t generation{0};
+    bool armed{false};
+  };
+
+  Simulation* sim_;
+  std::shared_ptr<State> state_;  // outlives the Timer for in-flight events
+};
+
+}  // namespace pdc::sim

@@ -1,0 +1,134 @@
+// Property-based application tests (pre-fault baseline): for a fixed list
+// of seeds, derive randomized workload sizes and assert every distributed
+// implementation equals its serial reference across all three tools and
+// two platform fabrics (one switched, one shared-bus). The seed list is
+// fixed so CI is deterministic; growing it widens the property sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/fft/parallel.hpp"
+#include "apps/jpeg/parallel.hpp"
+#include "apps/mc/montecarlo.hpp"
+#include "apps/sort/psrs.hpp"
+#include "mp/api.hpp"
+#include "sim/rng.hpp"
+
+namespace pdc {
+namespace {
+
+using host::PlatformId;
+using mp::ToolKind;
+
+const std::vector<std::uint64_t>& property_seeds() {
+  static const std::vector<std::uint64_t> kSeeds = {1, 2, 3};
+  return kSeeds;
+}
+
+struct Combo {
+  ToolKind tool;
+  PlatformId platform;
+};
+
+class PropertyApps : public ::testing::TestWithParam<Combo> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertyApps,
+    ::testing::Values(Combo{ToolKind::P4, PlatformId::AlphaFddi},
+                      Combo{ToolKind::P4, PlatformId::Sp1Switch},
+                      Combo{ToolKind::Pvm, PlatformId::AlphaFddi},
+                      Combo{ToolKind::Pvm, PlatformId::Sp1Switch},
+                      Combo{ToolKind::Express, PlatformId::AlphaFddi},
+                      Combo{ToolKind::Express, PlatformId::Sp1Switch}),
+    [](const auto& info) {
+      const char* fabric =
+          info.param.platform == PlatformId::AlphaFddi ? "AlphaFddi" : "Sp1Switch";
+      return std::string(to_string(info.param.tool)) + "_" + fabric;
+    });
+
+TEST_P(PropertyApps, JpegRandomSizesMatchSerialBitExactly) {
+  const auto [tool, platform] = GetParam();
+  for (const std::uint64_t seed : property_seeds()) {
+    sim::Rng rng(sim::named_stream(seed, "pdc.test.jpeg"));
+    // Dimensions must be multiples of 8 (JPEG blocks); strips are 8-row
+    // aligned, so any multiple works for any proc count.
+    const int w = 8 * static_cast<int>(rng.uniform(2, 6));
+    const int h = 8 * static_cast<int>(rng.uniform(2, 6));
+    const int quality = static_cast<int>(rng.uniform(20, 90));
+    const int procs = static_cast<int>(rng.uniform(2, 4));
+    const auto img = apps::jpeg::make_test_image(w, h, rng.next_u64());
+    const auto expected = apps::jpeg::compress(img, quality);
+    std::vector<std::int16_t> got;
+    auto program = [&](mp::Communicator& c) -> sim::Task<void> {
+      co_await apps::jpeg::compress_distributed(c, img, quality,
+                                                c.rank() == 0 ? &got : nullptr);
+    };
+    mp::run_spmd(platform, procs, tool, program);
+    EXPECT_EQ(got, expected) << "seed " << seed << " " << w << "x" << h << " q" << quality
+                             << " procs " << procs;
+  }
+}
+
+TEST_P(PropertyApps, FftRandomSizesMatchSerial) {
+  const auto [tool, platform] = GetParam();
+  for (const std::uint64_t seed : property_seeds()) {
+    sim::Rng rng(sim::named_stream(seed, "pdc.test.fft"));
+    const int n = 1 << rng.uniform(3, 5);  // 8, 16, 32 (power of two required)
+    const int procs = static_cast<int>(rng.uniform(2, 4));
+    const std::uint64_t signal_seed = rng.next_u64();
+    const auto expected = apps::fft::fft2d_serial(apps::fft::make_test_signal(n, signal_seed));
+    apps::fft::Matrix got;
+    auto program = [&](mp::Communicator& c) -> sim::Task<void> {
+      co_await apps::fft::fft2d_distributed(c, n, signal_seed, c.rank() == 0 ? &got : nullptr);
+    };
+    mp::run_spmd(platform, procs, tool, program);
+    ASSERT_EQ(got.n, n);
+    EXPECT_LT(apps::fft::max_abs_diff(got, expected), 1e-9)
+        << "seed " << seed << " n " << n << " procs " << procs;
+  }
+}
+
+TEST_P(PropertyApps, MonteCarloRandomWorkloadsMatchSerialExactly) {
+  const auto [tool, platform] = GetParam();
+  for (const std::uint64_t seed : property_seeds()) {
+    sim::Rng rng(sim::named_stream(seed, "pdc.test.mc"));
+    const auto samples = static_cast<std::int64_t>(rng.uniform(40'000, 150'000));
+    const int rounds = static_cast<int>(rng.uniform(2, 6));
+    const int procs = static_cast<int>(rng.uniform(2, 4));
+    const std::uint64_t mc_seed = rng.next_u64();
+    const auto expected = apps::mc::integrate_serial(samples, rounds, procs, mc_seed);
+    apps::mc::Result got{};
+    auto program = [&](mp::Communicator& c) -> sim::Task<void> {
+      apps::mc::Result local{};
+      co_await apps::mc::integrate_distributed(c, samples, rounds, mc_seed, &local);
+      if (c.rank() == 0) got = local;
+    };
+    mp::run_spmd(platform, procs, tool, program);
+    EXPECT_EQ(got.samples, expected.samples) << "seed " << seed;
+    // Serial reduces in a different order; last-ulp tolerance as in test_apps.
+    EXPECT_NEAR(got.estimate, expected.estimate, 1e-12) << "seed " << seed;
+  }
+}
+
+TEST_P(PropertyApps, PsrsRandomKeyCountsMatchSerialSort) {
+  const auto [tool, platform] = GetParam();
+  for (const std::uint64_t seed : property_seeds()) {
+    sim::Rng rng(sim::named_stream(seed, "pdc.test.psrs"));
+    const auto keys = static_cast<std::int64_t>(rng.uniform(5'000, 40'000));
+    const int procs = static_cast<int>(rng.uniform(2, 4));
+    const std::uint64_t key_seed = rng.next_u64();
+    const auto expected = apps::sort::sort_serial(keys, procs, key_seed);
+    std::vector<std::int32_t> got;
+    auto program = [&](mp::Communicator& c) -> sim::Task<void> {
+      co_await apps::sort::psrs_distributed(c, keys, key_seed, c.rank() == 0 ? &got : nullptr);
+    };
+    mp::run_spmd(platform, procs, tool, program);
+    EXPECT_EQ(got, expected) << "seed " << seed << " keys " << keys << " procs " << procs;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  }
+}
+
+}  // namespace
+}  // namespace pdc

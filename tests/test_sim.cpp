@@ -20,6 +20,7 @@
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "sim/timer.hpp"
 
 namespace pdc::sim {
 namespace {
@@ -451,6 +452,176 @@ TEST(RunningStats, WelfordMatchesClosedForm) {
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+// ---------- satellite: mailbox edge cases -----------------------------------
+
+/// A miniature message envelope for wildcard-matching tests: the same shape
+/// the mp layer matches on (source, tag), small enough for MatchPred's
+/// inline context.
+struct Envelope {
+  int src;
+  int tag;
+  int body;
+};
+
+/// Wildcard matcher: -1 matches any source / any tag (PVM pvm_recv(-1, -1),
+/// p4 type -1 semantics).
+struct WildcardMatch {
+  int src;
+  int tag;
+  bool operator()(const Envelope& e) const {
+    return (src < 0 || e.src == src) && (tag < 0 || e.tag == tag);
+  }
+};
+
+TEST(MailboxEdge, WildcardSourceAndTagMatching) {
+  Simulation sim;
+  Mailbox<Envelope> box(sim);
+  std::vector<int> got;
+  sim.spawn([](Simulation& s, Mailbox<Envelope>& b) -> Task<> {
+    co_await s.delay(milliseconds(1));
+    b.push({.src = 2, .tag = 9, .body = 1});
+    b.push({.src = 3, .tag = 5, .body = 2});
+    b.push({.src = 2, .tag = 5, .body = 3});
+  }(sim, box), "producer");
+  sim.spawn([](Mailbox<Envelope>& b, std::vector<int>& got) -> Task<> {
+    // Exact (src, tag) skips earlier queued items.
+    got.push_back((co_await b.recv(WildcardMatch{2, 5})).body);
+    // Wildcard source, exact tag: oldest tag-5 item remaining.
+    got.push_back((co_await b.recv(WildcardMatch{-1, 5})).body);
+    // Full wildcard drains in arrival order.
+    got.push_back((co_await b.recv(WildcardMatch{-1, -1})).body);
+  }(box, got), "consumer");
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(MailboxEdge, SameTimestampPushesKeepFifoOrder) {
+  // Multiple pushes at one simulated instant must drain in push order, and
+  // a same-instant producer/consumer interleaving must not reorder: the
+  // fast-lane event queue is FIFO within a timestamp.
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<int> got;
+  sim.spawn([](Simulation& s, Mailbox<int>& b) -> Task<> {
+    co_await s.delay(milliseconds(2));
+    for (int i = 0; i < 6; ++i) b.push(i);  // all at t = 2 ms
+  }(sim, box), "producer");
+  sim.spawn([](Mailbox<int>& b, std::vector<int>& got) -> Task<> {
+    for (int i = 0; i < 6; ++i) got.push_back(co_await b.recv());
+  }(box, got), "consumer");
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(MailboxEdge, CompetingReceiversServedInArrivalOrder) {
+  // Two waiters with overlapping predicates: a push wakes the waiter that
+  // arrived first among those whose matcher accepts, so a selective waiter
+  // is not starved by a wildcard one that arrived later.
+  Simulation sim;
+  Mailbox<Envelope> box(sim);
+  std::vector<std::pair<char, int>> got;
+  sim.spawn([](Mailbox<Envelope>& b, std::vector<std::pair<char, int>>& got) -> Task<> {
+    got.emplace_back('s', (co_await b.recv(WildcardMatch{-1, 7})).body);  // selective, first
+  }(box, got), "selective");
+  sim.spawn([](Simulation& s, Mailbox<Envelope>& b, std::vector<std::pair<char, int>>& got)
+                -> Task<> {
+    co_await s.delay(microseconds(1));
+    got.emplace_back('w', (co_await b.recv(WildcardMatch{-1, -1})).body);  // wildcard, second
+  }(sim, box, got), "wildcard");
+  sim.spawn([](Simulation& s, Mailbox<Envelope>& b) -> Task<> {
+    co_await s.delay(milliseconds(1));
+    b.push({.src = 0, .tag = 7, .body = 10});  // both match; selective waiter wins (older)
+    b.push({.src = 0, .tag = 3, .body = 20});  // only the wildcard waiter matches
+  }(sim, box), "producer");
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::make_pair('s', 10));
+  EXPECT_EQ(got[1], std::make_pair('w', 20));
+}
+
+TEST(MailboxEdge, NonMatchingPushQueuesPastBlockedWaiter) {
+  // A waiter whose matcher rejects an item must leave it queued for later
+  // receivers instead of consuming or dropping it.
+  Simulation sim;
+  Mailbox<Envelope> box(sim);
+  int selective = 0, sweeper = 0;
+  sim.spawn([](Mailbox<Envelope>& b, int& selective) -> Task<> {
+    selective = (co_await b.recv(WildcardMatch{5, -1})).body;
+  }(box, selective), "selective");
+  sim.spawn([](Simulation& s, Mailbox<Envelope>& b, int& sweeper) -> Task<> {
+    co_await s.delay(milliseconds(2));
+    sweeper = (co_await b.recv()).body;
+  }(sim, box, sweeper), "sweeper");
+  sim.spawn([](Simulation& s, Mailbox<Envelope>& b) -> Task<> {
+    co_await s.delay(milliseconds(1));
+    b.push({.src = 1, .tag = 0, .body = 111});  // rejected by the selective waiter
+    b.push({.src = 5, .tag = 0, .body = 555});
+  }(sim, box), "producer");
+  sim.run();
+  EXPECT_EQ(selective, 555);
+  EXPECT_EQ(sweeper, 111);
+}
+
+// ---------- satellite: one-shot cancellable timer ---------------------------
+
+TEST(Timer, ArmFiresAtDeadline) {
+  Simulation sim;
+  Timer timer(sim);
+  TimePoint fired{};
+  sim.spawn([](Simulation& s, Timer& t, TimePoint& fired) -> Task<> {
+    t.arm(s.now() + milliseconds(5), [&s, &fired] { fired = s.now(); });
+    EXPECT_TRUE(t.armed());
+    co_return;
+  }(sim, timer, fired));
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::origin() + milliseconds(5));
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, CancelSuppressesCallbackButHoldsClock) {
+  Simulation sim;
+  Timer timer(sim);
+  bool fired = false;
+  sim.spawn([](Simulation& s, Timer& t, bool& fired) -> Task<> {
+    t.arm(s.now() + milliseconds(10), [&fired] { fired = true; });
+    co_await s.delay(milliseconds(1));
+    t.cancel();
+    EXPECT_FALSE(t.armed());
+  }(sim, timer, fired));
+  // Documented cost of cancel(): the queued no-op still pops, so the run
+  // ends at the timer's original deadline.
+  EXPECT_EQ(sim.run(), TimePoint::origin() + milliseconds(10));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, RearmSupersedesEarlierDeadline) {
+  Simulation sim;
+  Timer timer(sim);
+  std::vector<int> fired;
+  sim.spawn([](Simulation& s, Timer& t, std::vector<int>& fired) -> Task<> {
+    t.arm(s.now() + milliseconds(3), [&fired] { fired.push_back(1); });
+    co_await s.delay(milliseconds(1));
+    t.arm(s.now() + milliseconds(7), [&fired] { fired.push_back(2); });  // replaces #1
+    co_return;
+  }(sim, timer, fired));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(Timer, StateOutlivesTimerObject) {
+  // Destroying the Timer after cancel() must leave the in-flight event
+  // harmless (the shared state keeps the generation check alive).
+  Simulation sim;
+  bool fired = false;
+  {
+    Timer timer(sim);
+    timer.arm(TimePoint::origin() + milliseconds(4), [&fired] { fired = true; });
+    timer.cancel();
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
 }
 
 }  // namespace

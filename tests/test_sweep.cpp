@@ -5,10 +5,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
+#include "eval/paper_data.hpp"
 #include "eval/sweep.hpp"
+#include "fault/plan.hpp"
 
 namespace pdc::eval {
 namespace {
@@ -116,6 +119,113 @@ TEST(Sweep, PoolTelemetryAggregatesAcrossWorkers) {
   (void)sweep_tpl_ms({{Primitive::SendRecv, PlatformId::SunEthernet, ToolKind::P4, 64, 2, 0}}, 2);
   const auto fresh = last_sweep_pool_stats();
   EXPECT_LT(fresh.hits + fresh.misses, stats.hits + stats.misses);
+}
+
+// ---------- satellite: full Table 3 determinism regression -----------------
+
+namespace {
+
+/// The complete Table 3 grid in print order (the same construction as
+/// bench_table3_sendrecv), optionally with a fault plan on every cell.
+std::vector<TplCell> table3_cells(const fault::FaultPlan& faults = {}) {
+  const ToolKind tools[] = {ToolKind::Pvm, ToolKind::P4, ToolKind::Express};
+  const PlatformId platforms[] = {PlatformId::SunEthernet, PlatformId::SunAtmLan,
+                                  PlatformId::SunAtmWan};
+  std::vector<TplCell> cells;
+  for (std::int64_t bytes : paper_message_sizes()) {
+    for (ToolKind tool : tools) {
+      for (PlatformId p : platforms) {
+        if (tool == ToolKind::Express && p == PlatformId::SunAtmWan) continue;
+        cells.push_back({Primitive::SendRecv, p, tool, bytes, 2, 0, faults});
+      }
+    }
+  }
+  return cells;
+}
+
+struct EnvThreads {
+  // RAII PDC_SWEEP_THREADS override (tests in this suite run serially).
+  explicit EnvThreads(const char* v) { ::setenv("PDC_SWEEP_THREADS", v, 1); }
+  ~EnvThreads() { ::unsetenv("PDC_SWEEP_THREADS"); }
+};
+
+}  // namespace
+
+TEST(SweepDeterminism, FullTable3TwiceInOneProcessIsBitIdentical) {
+  const auto cells = table3_cells();
+  const auto first = sweep_tpl_ms(cells);
+  const auto second = sweep_tpl_ms(cells);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].has_value()) << i;
+    EXPECT_EQ(*first[i], *second[i]) << "cell " << i;
+  }
+}
+
+TEST(SweepDeterminism, ThreadCountEnvDoesNotPerturbResultsOrCounterTotals) {
+  const auto cells = table3_cells();
+  std::vector<std::optional<double>> r1, r8;
+  SweepPoolStats p1, p8;
+  SweepFaultStats f1, f8;
+  {
+    const EnvThreads env("1");
+    r1 = sweep_tpl_ms(cells, /*threads=*/0);  // 0 -> resolve from env
+    p1 = last_sweep_pool_stats();
+    f1 = last_sweep_fault_stats();
+  }
+  {
+    const EnvThreads env("8");
+    r8 = sweep_tpl_ms(cells, /*threads=*/0);
+    p8 = last_sweep_pool_stats();
+    f8 = last_sweep_fault_stats();
+  }
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    ASSERT_EQ(r1[i].has_value(), r8[i].has_value()) << i;
+    if (r1[i]) EXPECT_EQ(*r1[i], *r8[i]) << "cell " << i;
+  }
+  // Pool telemetry: the hit/miss split depends on how cells land on worker
+  // threads (each thread pays its own cold misses), but the totals are a
+  // property of the workload, not the schedule.
+  EXPECT_EQ(p1.hits + p1.misses, p8.hits + p8.misses);
+  EXPECT_EQ(p1.releases + p1.discards, p8.releases + p8.discards);
+  // Fault counters on a fault-free sweep: exactly zero either way.
+  EXPECT_EQ(f1.transport, f8.transport);
+  EXPECT_EQ(f1.transport.retransmits, 0);
+  EXPECT_EQ(f1.injected.frames, f8.injected.frames);
+  EXPECT_EQ(f1.injected.frames, 0);
+}
+
+TEST(SweepDeterminism, FaultedSweepReplaysBitIdenticallyAcrossThreadCounts) {
+  // The fault-plan axis: every cell carries the same lossy rates but its own
+  // plan seed (cells with a shared seed replay the same fault-RNG prefix, so
+  // short runs would be perfectly correlated). Cells are independent
+  // Simulations with plan-seeded fault streams, so both the timings and the
+  // aggregated wire/transport counters must replay exactly, at any thread
+  // count.
+  auto cells = table3_cells(fault::FaultPlan::uniform(0.10, 0.02, 0.05, 0.1,
+                                                      sim::milliseconds(1)));
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i].faults.seed = 0x7AB1E3 + i;
+  const auto serial = sweep_tpl_ms(cells, 1);
+  const auto fault_serial = last_sweep_fault_stats();
+  EXPECT_GT(fault_serial.transport.retransmits, 0);
+  EXPECT_GT(fault_serial.injected.frames, 0);
+  EXPECT_GT(fault_serial.injected.drops, 0);
+  for (unsigned threads : {2u, 8u}) {
+    const auto parallel = sweep_tpl_ms(cells, threads);
+    const auto fault_parallel = last_sweep_fault_stats();
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].has_value(), serial[i].has_value()) << i;
+      if (serial[i]) EXPECT_EQ(*parallel[i], *serial[i]) << "cell " << i;
+    }
+    EXPECT_EQ(fault_parallel.transport, fault_serial.transport) << threads << " threads";
+    EXPECT_EQ(fault_parallel.injected.frames, fault_serial.injected.frames);
+    EXPECT_EQ(fault_parallel.injected.drops, fault_serial.injected.drops);
+    EXPECT_EQ(fault_parallel.injected.corruptions, fault_serial.injected.corruptions);
+    EXPECT_EQ(fault_parallel.injected.duplicates, fault_serial.injected.duplicates);
+    EXPECT_EQ(fault_parallel.injected.reorders, fault_serial.injected.reorders);
+  }
 }
 
 }  // namespace
