@@ -290,6 +290,15 @@ void BM_SweepTable3(benchmark::State& state) {
     benchmark::DoNotOptimize(ms.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cells.size()));
+  // Host-work split of the last sweep: TPL cells are pure simulation (no
+  // app kernels), so app_share ~ 0 here; the counter proves the telemetry
+  // costs nothing and gives app sweeps a baseline to compare against.
+  const auto host = eval::last_sweep_host_stats();
+  state.counters["host_app_share"] = host.app_share();
+  state.counters["host_cell_us"] =
+      host.cells > 0
+          ? static_cast<double>(host.wall_ns) / static_cast<double>(host.cells) * 1e-3
+          : 0.0;
 }
 BENCHMARK(BM_SweepTable3)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 

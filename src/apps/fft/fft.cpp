@@ -2,43 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
+#include "kernels/fft.hpp"
 #include "sim/rng.hpp"
 
 namespace pdc::apps::fft {
 
 void fft1d(std::span<Complex> data, bool inverse) {
-  const std::size_t n = data.size();
-  if (n == 0 || (n & (n - 1)) != 0) {
-    throw std::invalid_argument("fft1d: size must be a power of two");
-  }
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
-                         (inverse ? 1.0 : -1.0);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-  if (inverse) {
-    for (auto& x : data) x /= static_cast<double>(n);
-  }
+  kernels::fft1d(data, inverse);
 }
 
 Matrix make_test_signal(int n, std::uint64_t seed) {

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
+#include "kernels/dct.hpp"
+#include "kernels/hostwork.hpp"
 #include "sim/rng.hpp"
 
 namespace pdc::apps::jpeg {
@@ -30,12 +31,6 @@ constexpr int kZigzag[kBlock * kBlock] = {
     58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
 
 constexpr std::int16_t kEndOfBlock = std::int16_t{-32768};
-
-double dct_cos(int x, int u) {
-  return std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
-}
-
-double alpha(int u) { return u == 0 ? 1.0 / std::numbers::sqrt2 : 1.0; }
 
 }  // namespace
 
@@ -63,31 +58,11 @@ Image make_test_image(int width, int height, std::uint64_t seed) {
 }
 
 void forward_dct(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
-  for (int u = 0; u < kBlock; ++u) {
-    for (int v = 0; v < kBlock; ++v) {
-      double sum = 0.0;
-      for (int x = 0; x < kBlock; ++x) {
-        for (int y = 0; y < kBlock; ++y) {
-          sum += in[x][y] * dct_cos(x, u) * dct_cos(y, v);
-        }
-      }
-      out[u][v] = 0.25 * alpha(u) * alpha(v) * sum;
-    }
-  }
+  kernels::forward_dct(in, out);
 }
 
 void inverse_dct(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
-  for (int x = 0; x < kBlock; ++x) {
-    for (int y = 0; y < kBlock; ++y) {
-      double sum = 0.0;
-      for (int u = 0; u < kBlock; ++u) {
-        for (int v = 0; v < kBlock; ++v) {
-          sum += alpha(u) * alpha(v) * in[u][v] * dct_cos(x, u) * dct_cos(y, v);
-        }
-      }
-      out[x][y] = 0.25 * sum;
-    }
-  }
+  kernels::inverse_dct(in, out);
 }
 
 std::array<int, kBlock * kBlock> quant_table(int quality) {
@@ -102,23 +77,38 @@ std::array<int, kBlock * kBlock> quant_table(int quality) {
 
 namespace {
 
-void encode_block(const Image& img, int bx, int by, const std::array<int, 64>& q,
-                  std::vector<std::int16_t>& out) {
+/// Reusable per-strip scratch: the block pipeline (level-shift -> DCT ->
+/// zigzag/quantise/RLE) runs every block through these two stack arrays and
+/// the quantiser divisors precomputed once per strip. The divisor is the
+/// same int-table entry converted to double once instead of per
+/// coefficient -- bit-identical division, fewer int->fp conversions.
+struct BlockScratch {
   double block[kBlock][kBlock];
   double coeffs[kBlock][kBlock];
-  for (int x = 0; x < kBlock; ++x) {
-    for (int y = 0; y < kBlock; ++y) {
-      block[x][y] = static_cast<double>(img.at(bx + y, by + x)) - 128.0;
+  double quant[kBlock * kBlock];
+
+  explicit BlockScratch(int quality) {
+    const auto q = quant_table(quality);
+    for (int i = 0; i < kBlock * kBlock; ++i) {
+      quant[i] = static_cast<double>(q[static_cast<std::size_t>(i)]);
     }
   }
-  forward_dct(block, coeffs);
+};
+
+void encode_block(const Image& img, int bx, int by, BlockScratch& s,
+                  std::vector<std::int16_t>& out) {
+  for (int x = 0; x < kBlock; ++x) {
+    for (int y = 0; y < kBlock; ++y) {
+      s.block[x][y] = static_cast<double>(img.at(bx + y, by + x)) - 128.0;
+    }
+  }
+  forward_dct(s.block, s.coeffs);
   // Zigzag + quantise + RLE: (zero-run, value) pairs, EOB sentinel.
   std::int16_t run = 0;
   for (int i = 0; i < kBlock * kBlock; ++i) {
     const int idx = kZigzag[i];
-    const double c = coeffs[idx / kBlock][idx % kBlock];
-    const auto quantised = static_cast<std::int16_t>(
-        std::lround(c / q[static_cast<std::size_t>(kZigzag[i])]));
+    const double c = s.coeffs[idx / kBlock][idx % kBlock];
+    const auto quantised = static_cast<std::int16_t>(std::lround(c / s.quant[idx]));
     if (quantised == 0) {
       ++run;
       continue;
@@ -141,13 +131,14 @@ std::vector<std::int16_t> compress_rows(const Image& img, int row_begin, int row
       row_end > img.height || row_begin > row_end) {
     throw std::invalid_argument("compress_rows: row range must align to 8-row strips");
   }
-  const auto q = quant_table(quality);
+  kernels::ScopedHostWork probe;
+  BlockScratch scratch(quality);
   std::vector<std::int16_t> out;
   out.reserve(static_cast<std::size_t>((row_end - row_begin)) *
               static_cast<std::size_t>(img.width) / 8);
   for (int by = row_begin; by < row_end; by += kBlock) {
     for (int bx = 0; bx < img.width; bx += kBlock) {
-      encode_block(img, bx, by, q, out);
+      encode_block(img, bx, by, scratch, out);
     }
   }
   return out;
@@ -161,14 +152,17 @@ Image decompress(std::span<const std::int16_t> stream, int width, int height, in
   if (width % kBlock != 0 || height % kBlock != 0) {
     throw std::invalid_argument("decompress: bad dimensions");
   }
-  const auto q = quant_table(quality);
+  kernels::ScopedHostWork probe;
+  BlockScratch scratch(quality);
   Image img{width, height,
             std::vector<std::uint8_t>(static_cast<std::size_t>(width) *
                                       static_cast<std::size_t>(height))};
   std::size_t pos = 0;
   for (int by = 0; by < height; by += kBlock) {
     for (int bx = 0; bx < width; bx += kBlock) {
-      double coeffs[kBlock][kBlock] = {};
+      for (auto& row : scratch.coeffs) {
+        for (double& c : row) c = 0.0;
+      }
       int i = 0;
       while (true) {
         if (pos >= stream.size()) throw std::invalid_argument("decompress: truncated stream");
@@ -178,17 +172,16 @@ Image decompress(std::span<const std::int16_t> stream, int width, int height, in
         i += sym;  // zero run
         if (i >= kBlock * kBlock) throw std::invalid_argument("decompress: run overflow");
         const int idx = kZigzag[i];
-        coeffs[idx / kBlock][idx % kBlock] =
-            static_cast<double>(stream[pos++]) * q[static_cast<std::size_t>(idx)];
+        scratch.coeffs[idx / kBlock][idx % kBlock] =
+            static_cast<double>(stream[pos++]) * scratch.quant[idx];
         ++i;
       }
-      double block[kBlock][kBlock];
-      inverse_dct(coeffs, block);
+      inverse_dct(scratch.coeffs, scratch.block);
       for (int x = 0; x < kBlock; ++x) {
         for (int y = 0; y < kBlock; ++y) {
           img.pixels[static_cast<std::size_t>(by + x) * static_cast<std::size_t>(width) +
                      static_cast<std::size_t>(bx + y)] =
-              static_cast<std::uint8_t>(std::clamp(block[x][y] + 128.0, 0.0, 255.0));
+              static_cast<std::uint8_t>(std::clamp(scratch.block[x][y] + 128.0, 0.0, 255.0));
         }
       }
     }

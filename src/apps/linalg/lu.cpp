@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/linalg.hpp"
 #include "mp/pack.hpp"
 #include "sim/rng.hpp"
 
@@ -28,7 +29,7 @@ Mat lu_serial(Mat a) {
     for (int i = k + 1; i < n; ++i) {
       const double f = a.at(i, k) / pivot;
       a.at(i, k) = f;
-      for (int j = k + 1; j < n; ++j) a.at(i, j) -= f * a.at(k, j);
+      kernels::rank1_sub(&a.at(i, 0), &a.at(k, 0), f, k + 1, n);
     }
   }
   return a;
@@ -106,9 +107,7 @@ sim::Task<void> lu_distributed(mp::Communicator& comm, const Mat& a, Mat* lu_out
       auto& row = rows[static_cast<std::size_t>(r)];
       const double f = row[static_cast<std::size_t>(k)] / pivot;
       row[static_cast<std::size_t>(k)] = f;
-      for (int j = k + 1; j < n; ++j) {
-        row[static_cast<std::size_t>(j)] -= f * pivot_row[static_cast<std::size_t>(j)];
-      }
+      kernels::rank1_sub(row.data(), pivot_row.data(), f, k + 1, n);
       ++updated;
     }
     co_await comm.compute_flops(updated * 2.0 * (n - k));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/linalg.hpp"
 #include "mp/pack.hpp"
 #include "sim/rng.hpp"
 
@@ -26,13 +27,8 @@ Mat make_test_matrix(int n, std::uint64_t seed) {
 Mat multiply_serial(const Mat& a, const Mat& b) {
   if (a.n != b.n) throw std::invalid_argument("multiply_serial: size mismatch");
   const int n = a.n;
-  Mat c{n, std::vector<double>(a.a.size(), 0.0)};
-  for (int i = 0; i < n; ++i) {
-    for (int k = 0; k < n; ++k) {
-      const double aik = a.at(i, k);
-      for (int j = 0; j < n; ++j) c.at(i, j) += aik * b.at(k, j);
-    }
-  }
+  Mat c{n, std::vector<double>(a.a.size())};
+  kernels::matmul_rows(a.a.data(), n, b.a.data(), n, c.a.data());
   return c;
 }
 
@@ -89,17 +85,8 @@ sim::Task<void> multiply_distributed(mp::Communicator& comm, const Mat& a, const
 
   // Local block product (real arithmetic, billed).
   co_await comm.compute_flops(2.0 * rows * static_cast<double>(n) * n);
-  std::vector<double> my_c(static_cast<std::size_t>(rows) * static_cast<std::size_t>(n), 0.0);
-  for (int i = 0; i < rows; ++i) {
-    for (int k = 0; k < n; ++k) {
-      const double aik = my_rows[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
-                                 static_cast<std::size_t>(k)];
-      for (int j = 0; j < n; ++j) {
-        my_c[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
-             static_cast<std::size_t>(j)] += aik * local_b.at(k, j);
-      }
-    }
-  }
+  std::vector<double> my_c(static_cast<std::size_t>(rows) * static_cast<std::size_t>(n));
+  kernels::matmul_rows(my_rows.data(), rows, local_b.a.data(), n, my_c.data());
 
   // Gather C at rank 0.
   if (rank == 0) {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "kernels/mc.hpp"
 #include "mp/pack.hpp"
 #include "sim/rng.hpp"
 
@@ -12,15 +13,11 @@ namespace {
 constexpr int kTagPartial = 301;  // + round
 constexpr int kTagFinal = 351;    // + round (disjoint from kTagPartial range)
 
-double integrand(double x) { return 4.0 / (1.0 + x * x); }
-
 /// The batch evaluated by (rank, round): deterministic, disjoint streams.
 double batch_sum(std::uint64_t seed, int rank, int round, std::int64_t count) {
   sim::Rng rng(seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
                static_cast<std::uint64_t>(round) * 0x9E3779B97F4A7C15ULL);
-  double sum = 0.0;
-  for (std::int64_t i = 0; i < count; ++i) sum += integrand(rng.next_double());
-  return sum;
+  return kernels::inv_quad_sum(rng, count);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/sort.hpp"
 #include "mp/pack.hpp"
 #include "sim/rng.hpp"
 
@@ -39,7 +40,7 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
   // Phase 1: local sort (real sort; billed as branchy 1995 code).
   std::vector<std::int32_t> local = make_input(seed, rank, local_n);
   co_await comm.compute_intops(nlogn(static_cast<double>(local_n)) * kOpsPerCompare);
-  std::sort(local.begin(), local.end());
+  kernels::sort_i32(local);
 
   if (procs == 1) {
     if (out != nullptr) *out = std::move(local);
@@ -63,7 +64,7 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
       all.insert(all.end(), s.begin(), s.end());
     }
     co_await comm.compute_intops(nlogn(static_cast<double>(all.size())) * kOpsPerCompare);
-    std::sort(all.begin(), all.end());
+    kernels::sort_i32(all);
     for (int i = 1; i < procs; ++i) {
       pivots.push_back(all[static_cast<std::size_t>(i * procs + procs / 2 - 1)]);
     }
@@ -80,31 +81,45 @@ sim::Task<void> psrs_distributed(mp::Communicator& comm, std::int64_t total_keys
     pivots.assign(s.begin(), s.end());
   }
 
-  // Phase 5: partition by pivots and exchange (all-to-all).
-  std::vector<std::vector<std::int32_t>> parts(static_cast<std::size_t>(procs));
-  {
-    auto it = local.begin();
-    for (int i = 0; i < procs - 1; ++i) {
-      auto next = std::upper_bound(it, local.end(), pivots[static_cast<std::size_t>(i)]);
-      parts[static_cast<std::size_t>(i)].assign(it, next);
-      it = next;
-    }
-    parts[static_cast<std::size_t>(procs - 1)].assign(it, local.end());
+  // Phase 5: partition by pivots and exchange (all-to-all). `local` is
+  // sorted, so the partitions are contiguous slices: find the p-1 boundary
+  // indices and send spans straight out of `local` -- no per-destination
+  // vector materialisation.
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(procs) + 1);
+  bounds[0] = 0;
+  for (int i = 0; i < procs - 1; ++i) {
+    const auto next = std::upper_bound(local.begin(), local.end(),
+                                       pivots[static_cast<std::size_t>(i)]);
+    bounds[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::size_t>(next - local.begin());
   }
+  bounds[static_cast<std::size_t>(procs)] = local.size();
+  const auto part_of = [&](int p) {
+    return std::span<const std::int32_t>(local)
+        .subspan(bounds[static_cast<std::size_t>(p)],
+                 bounds[static_cast<std::size_t>(p) + 1] - bounds[static_cast<std::size_t>(p)]);
+  };
   co_await comm.compute_intops(static_cast<double>(local_n) * 2.0);  // partition scan
   for (int dst = 0; dst < procs; ++dst) {
     if (dst == rank) continue;
-    co_await comm.send(dst, kTagPartition, mp::pack_vector(parts[static_cast<std::size_t>(dst)]));
+    co_await comm.send(dst, kTagPartition, mp::pack_vector(part_of(dst)));
   }
 
   // Phase 6: receive my partitions and k-way merge (real merges, billed).
-  std::vector<std::int32_t> merged = std::move(parts[static_cast<std::size_t>(rank)]);
+  // Ping-pong between two buffers sized once up front instead of
+  // allocating a fresh vector per merge round.
+  const auto own = part_of(rank);
+  std::vector<std::int32_t> merged(own.begin(), own.end());
+  std::vector<std::int32_t> spare;
+  const auto headroom = static_cast<std::size_t>(2 * local_n);
+  merged.reserve(headroom);
+  spare.reserve(headroom);
   for (int i = 1; i < procs; ++i) {
     mp::Message m = co_await comm.recv(mp::kAnySource, kTagPartition);
     const auto piece = mp::payload_span<std::int32_t>(*m.data);  // merge in place from the wire
-    std::vector<std::int32_t> next(merged.size() + piece.size());
-    std::merge(merged.begin(), merged.end(), piece.begin(), piece.end(), next.begin());
-    merged = std::move(next);
+    spare.resize(merged.size() + piece.size());
+    std::merge(merged.begin(), merged.end(), piece.begin(), piece.end(), spare.begin());
+    std::swap(merged, spare);
     co_await comm.compute_intops(static_cast<double>(merged.size()) * kOpsPerCompare);
   }
 
@@ -140,7 +155,7 @@ std::vector<std::int32_t> sort_serial(std::int64_t total_keys, int procs, std::u
     const auto part = make_input(seed, r, local_n);
     all.insert(all.end(), part.begin(), part.end());
   }
-  std::sort(all.begin(), all.end());
+  kernels::sort_i32(all);
   return all;
 }
 

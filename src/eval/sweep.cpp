@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
-#include <mutex>
-
+#include "kernels/arena.hpp"
+#include "kernels/hostwork.hpp"
 #include "mp/api.hpp"
 #include "mp/buffer_pool.hpp"
 
@@ -30,12 +33,33 @@ std::atomic<std::uint64_t> g_pool_bytes{0};
 std::mutex g_fault_mu;
 SweepFaultStats g_fault_stats;
 
+// Fleet-wide host-work telemetry, same lifecycle: per-cell wall split and
+// kernel arena activity. Order-independent sums.
+std::atomic<std::uint64_t> g_host_cells{0};
+std::atomic<std::uint64_t> g_host_wall_ns{0};
+std::atomic<std::uint64_t> g_host_app_ns{0};
+std::atomic<std::uint64_t> g_host_kernel_calls{0};
+std::atomic<std::uint64_t> g_host_arena_takes{0};
+std::atomic<std::uint64_t> g_host_arena_grows{0};
+std::atomic<std::uint64_t> g_host_arena_bytes{0};
+
+// One sweep owns the pool at a time; nested/concurrent callers fall back
+// to inline serial execution (see parallel_for_index).
+std::mutex g_sweep_mu;
+
 void reset_pool_aggregate() {
   g_pool_hits = 0;
   g_pool_misses = 0;
   g_pool_releases = 0;
   g_pool_discards = 0;
   g_pool_bytes = 0;
+  g_host_cells = 0;
+  g_host_wall_ns = 0;
+  g_host_app_ns = 0;
+  g_host_kernel_calls = 0;
+  g_host_arena_takes = 0;
+  g_host_arena_grows = 0;
+  g_host_arena_bytes = 0;
   const std::scoped_lock lock(g_fault_mu);
   g_fault_stats = {};
 }
@@ -66,6 +90,101 @@ void fold_pool_delta(const mp::BufferPool::Stats& before,
   g_fault_stats.injected += delta.injected;
 }
 
+/// Persistent sweep worker pool. The seed implementation spawned and
+/// joined std::threads on every parallel_for_index call; on sweeps of
+/// cheap cells (Table 3 regeneration: hundreds of ~100us simulations) the
+/// spawn/join dominated the sweep itself. The pool spawns each helper
+/// thread once, parks it on a condition variable, and hands every
+/// subsequent sweep to the already-running threads via a generation
+/// counter. Results are unchanged: workers still claim cells from the
+/// caller's atomic counter, so scheduling stays dynamic and the output
+/// vector is written at fixed indices.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run `work` on `helpers` pool threads while the caller runs it too;
+  /// returns once every participant has finished. `work` must be callable
+  /// concurrently and must not itself call run_on (parallel_for_index
+  /// guarantees this via g_sweep_mu).
+  void run_on(unsigned helpers, const std::function<void()>& work) {
+    ensure_threads(helpers);
+    {
+      const std::scoped_lock lk(mu_);
+      work_ = &work;
+      want_ = helpers;
+      claimed_ = 0;
+      running_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    work();  // the calling thread participates
+    std::unique_lock lk(mu_);
+    // The caller's claim loop only exits once every cell index was handed
+    // out, so helpers that have not claimed a slot yet have nothing left to
+    // do: clamp the job and wait only for helpers actually inside work().
+    // On a loaded machine this lets the submitter finish without paying a
+    // context switch per parked helper.
+    want_ = claimed_;
+    done_cv_.wait(lk, [&] { return running_ == 0; });
+    work_ = nullptr;
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      const std::scoped_lock lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void ensure_threads(unsigned helpers) {
+    const std::scoped_lock lk(mu_);
+    while (threads_.size() < helpers) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void worker_main() {
+    std::uint64_t seen = 0;
+    std::unique_lock lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stop_ || (generation_ != seen && claimed_ < want_); });
+      if (stop_) return;
+      seen = generation_;
+      ++claimed_;
+      ++running_;
+      const auto* work = work_;
+      lk.unlock();
+      (*work)();
+      lk.lock();
+      --running_;
+      if (running_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes parked workers for a new job
+  std::condition_variable done_cv_;  ///< wakes the submitter when drained
+  std::vector<std::thread> threads_;
+  const std::function<void()>* work_{nullptr};
+  unsigned want_{0};          ///< helper slots for the current generation
+  unsigned claimed_{0};       ///< helpers that took a slot
+  unsigned running_{0};       ///< helpers still inside work()
+  std::uint64_t generation_{0};
+  bool stop_{false};
+};
+
 }  // namespace
 
 SweepPoolStats last_sweep_pool_stats() {
@@ -76,6 +195,12 @@ SweepPoolStats last_sweep_pool_stats() {
 SweepFaultStats last_sweep_fault_stats() {
   const std::scoped_lock lock(g_fault_mu);
   return g_fault_stats;
+}
+
+SweepHostStats last_sweep_host_stats() {
+  return {g_host_cells.load(),       g_host_wall_ns.load(),     g_host_app_ns.load(),
+          g_host_kernel_calls.load(), g_host_arena_takes.load(), g_host_arena_grows.load(),
+          g_host_arena_bytes.load()};
 }
 
 unsigned sweep_threads(unsigned requested) {
@@ -91,41 +216,69 @@ unsigned sweep_threads(unsigned requested) {
 void parallel_for_index(std::size_t n, unsigned threads,
                         const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+
+  // One sweep drives the worker pool at a time. A nested call (an app cell
+  // that itself sweeps) or a concurrent call from another thread runs its
+  // cells inline: results are identical to the fanned-out run, the cost is
+  // attributed to the owning sweep's cell, and the pool never deadlocks.
+  std::unique_lock<std::mutex> owner(g_sweep_mu, std::try_to_lock);
+  if (!owner.owns_lock()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
   reset_pool_aggregate();
   const std::size_t workers =
       std::min<std::size_t>(n, static_cast<std::size_t>(sweep_threads(threads)));
-  if (workers <= 1) {
-    const auto pool_before = mp::BufferPool::local().stats();
-    const auto fault_before = mp::transport_accumulator();
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    fold_pool_delta(pool_before, fault_before);
-    return;
-  }
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::vector<std::exception_ptr> errors(n);
-  auto worker = [&]() noexcept {
+  const std::function<void()> worker = [&]() noexcept {
     const auto pool_before = mp::BufferPool::local().stats();
     const auto fault_before = mp::transport_accumulator();
+    const auto work_before = kernels::host_work();
+    const auto arena_before = kernels::Arena::local().stats();
+    std::uint64_t cells = 0;
+    std::uint64_t wall_ns = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      const auto t0 = std::chrono::steady_clock::now();
       try {
         body(i);
       } catch (...) {
         errors[i] = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
       }
+      wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      ++cells;
     }
     fold_pool_delta(pool_before, fault_before);
+    const auto work_now = kernels::host_work();
+    const auto arena_now = kernels::Arena::local().stats();
+    g_host_cells.fetch_add(cells, std::memory_order_relaxed);
+    g_host_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+    g_host_app_ns.fetch_add(work_now.app_ns - work_before.app_ns,
+                            std::memory_order_relaxed);
+    g_host_kernel_calls.fetch_add(work_now.calls - work_before.calls,
+                                  std::memory_order_relaxed);
+    g_host_arena_takes.fetch_add(arena_now.takes - arena_before.takes,
+                                 std::memory_order_relaxed);
+    g_host_arena_grows.fetch_add(arena_now.grows - arena_before.grows,
+                                 std::memory_order_relaxed);
+    g_host_arena_bytes.fetch_add(arena_now.bytes_reserved - arena_before.bytes_reserved,
+                                 std::memory_order_relaxed);
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread works too
-  for (auto& t : pool) t.join();
+  if (workers <= 1) {
+    worker();
+  } else {
+    WorkerPool::instance().run_on(static_cast<unsigned>(workers - 1), worker);
+  }
 
   if (failed.load(std::memory_order_relaxed)) {
     for (auto& e : errors) {

@@ -35,10 +35,18 @@ namespace pdc::eval {
 /// rethrown after all workers drain, keeping failure behaviour
 /// deterministic too.
 ///
+/// Workers come from a process-wide persistent pool: threads are spawned
+/// the first time a sweep needs them and reused for every later sweep, so
+/// steady-state sweeps (bench loops, repeated table regenerations) pay no
+/// thread spawn/join cost. Nested or concurrent calls run their cells
+/// inline on the calling thread -- same results, no deadlock.
+///
 /// Payload allocation telemetry: each worker recycles payload buffers
 /// through its own thread-local mp::BufferPool (no buffer is ever shared
 /// across threads), and on drain its pool-stats delta is folded into a
-/// fleet-wide aggregate readable via last_sweep_pool_stats().
+/// fleet-wide aggregate readable via last_sweep_pool_stats(). Host-work
+/// telemetry (wall split between app kernels and sim overhead, arena
+/// activity) is aggregated the same way into last_sweep_host_stats().
 void parallel_for_index(std::size_t n, unsigned threads,
                         const std::function<void(std::size_t)>& body);
 
@@ -70,6 +78,34 @@ struct SweepFaultStats {
   fault::InjectionStats injected{};
 };
 [[nodiscard]] SweepFaultStats last_sweep_fault_stats();
+
+/// Host-work telemetry for the most recent parallel_for_index / sweep_*
+/// call: where the *host's* wall-clock went, split into real application
+/// compute (the kernels layer's ScopedHostWork probes: DCT, FFT, sort,
+/// MC batches) versus everything else (simulation bookkeeping, scheduling,
+/// packing). Per-cell wall times are measured on the worker that ran the
+/// cell and summed, so `wall_ns` is total cell-seconds, not elapsed time.
+/// Arena counters come from the kernels' scratch arenas: `arena_grows`
+/// staying flat across sweeps is the "no steady-state allocation" signal.
+struct SweepHostStats {
+  std::uint64_t cells{0};         ///< cells executed
+  std::uint64_t wall_ns{0};       ///< summed per-cell wall time
+  std::uint64_t app_ns{0};        ///< of which: inside app compute kernels
+  std::uint64_t kernel_calls{0};  ///< ScopedHostWork probe activations
+  std::uint64_t arena_takes{0};   ///< kernel scratch allocations served
+  std::uint64_t arena_grows{0};   ///< arena block reservations (cold only)
+  std::uint64_t arena_bytes{0};   ///< bytes newly reserved by those grows
+
+  /// Wall time outside app kernels: the simulator's own overhead.
+  [[nodiscard]] std::uint64_t sim_ns() const noexcept {
+    return wall_ns > app_ns ? wall_ns - app_ns : 0;
+  }
+  /// Fraction of host wall spent in real app compute (0 when idle).
+  [[nodiscard]] double app_share() const noexcept {
+    return wall_ns > 0 ? static_cast<double>(app_ns) / static_cast<double>(wall_ns) : 0.0;
+  }
+};
+[[nodiscard]] SweepHostStats last_sweep_host_stats();
 
 /// Map i -> fn(i) over [0, n), results in index order.
 template <typename R, typename Fn>

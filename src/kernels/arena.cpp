@@ -1,0 +1,40 @@
+#include "kernels/arena.hpp"
+
+#include <algorithm>
+
+namespace pdc::kernels {
+
+Arena& Arena::local() {
+  thread_local Arena arena;
+  return arena;
+}
+
+void* Arena::raw_take(std::size_t bytes) {
+  ++stats_.takes;
+  // Advance through existing blocks looking for space at the bump position.
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t p = (base + offset_ + kAlign - 1) / kAlign * kAlign;
+    if (p + bytes <= base + b.size) {
+      offset_ = static_cast<std::size_t>(p - base) + bytes;
+      return reinterpret_cast<void*>(p);
+    }
+    ++current_;
+    offset_ = 0;
+  }
+  // Grow: a fresh block at least double the last one (or the request).
+  const std::size_t last = blocks_.empty() ? 0 : blocks_.back().size;
+  const std::size_t size = std::max({kMinBlock, last * 2, bytes + kAlign});
+  blocks_.push_back({std::make_unique<std::byte[]>(size), size});
+  ++stats_.grows;
+  stats_.bytes_reserved += size;
+  current_ = blocks_.size() - 1;
+  Block& b = blocks_.back();
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+  const std::uintptr_t p = (base + kAlign - 1) / kAlign * kAlign;
+  offset_ = static_cast<std::size_t>(p - base) + bytes;
+  return reinterpret_cast<void*>(p);
+}
+
+}  // namespace pdc::kernels

@@ -1,0 +1,80 @@
+// pdceval -- per-thread scratch arena for the compute kernels.
+//
+// Kernels need transient working storage (radix-sort buckets, batch
+// buffers) whose lifetime is one synchronous kernel call. The arena is a
+// thread-local bump allocator over a small list of blocks: a Frame saves
+// the bump position on entry and restores it on exit, so steady-state
+// kernel calls perform zero heap allocations -- the blocks grown during the
+// first few calls are simply reused. Blocks are never freed or moved while
+// a frame is open, so spans handed out stay valid for the frame's lifetime.
+//
+// NOT for use across coroutine suspension points: sweep workers interleave
+// many rank-coroutines on one thread, and a frame opened before a co_await
+// would overlap frames of other ranks. Kernel calls are synchronous, which
+// is exactly the scope a Frame covers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace pdc::kernels {
+
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t takes{0};           ///< spans handed out
+    std::uint64_t grows{0};           ///< block allocations (0 in steady state)
+    std::uint64_t bytes_reserved{0};  ///< total capacity currently held
+  };
+
+  /// This thread's arena (persists for the thread's lifetime).
+  [[nodiscard]] static Arena& local();
+
+  /// RAII scope: restores the bump position, making the storage taken
+  /// inside the frame reusable by the next one.
+  class Frame {
+   public:
+    explicit Frame(Arena& a) noexcept
+        : arena_(a), block_(a.current_), offset_(a.offset_) {}
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+    ~Frame() {
+      arena_.current_ = block_;
+      arena_.offset_ = offset_;
+    }
+
+   private:
+    Arena& arena_;
+    std::size_t block_;
+    std::size_t offset_;
+  };
+
+  /// A span of `n` uninitialised T, 64-byte aligned, valid until the
+  /// enclosing Frame closes.
+  template <typename T>
+  [[nodiscard]] std::span<T> take(std::size_t n) {
+    return {static_cast<T*>(raw_take(n * sizeof(T))), n};
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::size_t kAlign = 64;
+  static constexpr std::size_t kMinBlock = std::size_t{64} * 1024;
+
+  [[nodiscard]] void* raw_take(std::size_t bytes);
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+  std::vector<Block> blocks_;
+  std::size_t current_{0};  // block the bump pointer lives in
+  std::size_t offset_{0};   // bump offset within blocks_[current_]
+  Stats stats_;
+};
+
+}  // namespace pdc::kernels

@@ -1,0 +1,59 @@
+#include "kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace pdc::kernels {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& forced_scalar() noexcept {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("PDC_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return flag;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar:
+      return "scalar";
+    case Isa::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool simd_compiled() noexcept {
+#if defined(PDC_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Isa active_isa() noexcept {
+#if defined(PDC_HAVE_AVX2)
+  if (!forced_scalar().load(std::memory_order_relaxed) && cpu_has_avx2()) {
+    return Isa::Avx2;
+  }
+#endif
+  return Isa::Scalar;
+}
+
+void force_scalar(bool on) noexcept {
+  forced_scalar().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace pdc::kernels

@@ -1,0 +1,71 @@
+#include "kernels/fft.hpp"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "kernels/hostwork.hpp"
+
+namespace pdc::kernels {
+
+std::span<const std::complex<double>> fft_twiddles(std::size_t len, bool inverse) {
+  using Complex = std::complex<double>;
+  // Node-based map: spans into the cached vectors stay valid across later
+  // insertions. Sizes are the apps' FFT lengths (tiny), so the pool is
+  // effectively bounded; it lives for the worker thread's lifetime.
+  thread_local std::map<std::uint64_t, std::vector<Complex>> pool;
+  const std::uint64_t key = (static_cast<std::uint64_t>(len) << 1) |
+                            static_cast<std::uint64_t>(inverse);
+  std::vector<Complex>& tw = pool[key];
+  if (tw.empty()) {
+    // The reference recurrence, verbatim: w_0 = 1, w_k = w_{k-1} * wlen.
+    const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    tw.resize(len / 2);
+    Complex w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      tw[k] = w;
+      w *= wlen;
+    }
+  }
+  return tw;
+}
+
+void fft1d(std::span<std::complex<double>> data, bool inverse) {
+  using Complex = std::complex<double>;
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft1d: size must be a power of two");
+  }
+  const ScopedHostWork probe;
+  // Bit-reversal permutation (as the reference).
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const auto tw = fft_twiddles(len, inverse);
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex* lo = data.data() + i;
+      Complex* hi = lo + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex u = lo[k];
+        const Complex v = hi[k] * tw[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace pdc::kernels

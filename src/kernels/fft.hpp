@@ -1,0 +1,30 @@
+// pdceval -- fast order-preserving radix-2 FFT kernel.
+//
+// The reference regenerates its twiddle factor w incrementally (w *= wlen)
+// inside every butterfly loop: a loop-carried complex multiply that both
+// serializes the pipeline and is recomputed for every block of every stage
+// of every call. This kernel builds the per-(length, direction) twiddle
+// sequence ONCE -- with the identical recurrence, so table[k] is bit-equal
+// to the reference's w at step k -- caches it in a thread-local table pool,
+// and streams the butterflies from the table. The data-path operations
+// (u + v, u - v, data * w) are untouched, so outputs are bit-identical; the
+// win is dropping the recurrence from the inner loop and freeing the
+// butterflies to pipeline.
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace pdc::kernels {
+
+/// The twiddle sequence w_k = wlen^k (k < len/2) for one butterfly stage,
+/// built by the reference recurrence and cached per (len, inverse) in a
+/// thread-local pool. The span stays valid for the thread's lifetime.
+[[nodiscard]] std::span<const std::complex<double>> fft_twiddles(std::size_t len,
+                                                                 bool inverse);
+
+/// In-place radix-2 FFT; size must be a power of two. Bit-identical to
+/// kernels::ref::fft1d.
+void fft1d(std::span<std::complex<double>> data, bool inverse);
+
+}  // namespace pdc::kernels

@@ -1,0 +1,16 @@
+#include "kernels/hostwork.hpp"
+
+namespace pdc::kernels {
+
+namespace detail {
+
+HostWork& host_work_mut() noexcept {
+  thread_local HostWork acc;
+  return acc;
+}
+
+}  // namespace detail
+
+HostWork host_work() noexcept { return detail::host_work_mut(); }
+
+}  // namespace pdc::kernels

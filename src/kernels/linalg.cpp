@@ -1,0 +1,47 @@
+#include "kernels/linalg.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "kernels/hostwork.hpp"
+
+namespace pdc::kernels {
+
+namespace {
+
+// Tile sizes: a KB x JB tile of B (64 KiB) fits comfortably in L2 alongside
+// the C rows being updated.
+constexpr int kJB = 256;
+constexpr int kKB = 64;
+
+}  // namespace
+
+void matmul_rows(const double* a, int m, const double* b, int n, double* c) {
+  const ScopedHostWork probe;
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m) * n; ++i) c[i] = 0.0;
+  for (int jj = 0; jj < n; jj += kJB) {
+    const int jend = std::min(jj + kJB, n);
+    for (int kk = 0; kk < n; kk += kKB) {
+      const int kend = std::min(kk + kKB, n);
+      for (int i = 0; i < m; ++i) {
+        const double* __restrict ai = a + static_cast<std::size_t>(i) * n;
+        double* __restrict ci = c + static_cast<std::size_t>(i) * n;
+        for (int k = kk; k < kend; ++k) {
+          const double aik = ai[k];
+          const double* __restrict bk = b + static_cast<std::size_t>(k) * n;
+          for (int j = jj; j < jend; ++j) {
+            ci[j] += aik * bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void rank1_sub(double* row, const double* pivot, double f, int from, int n) noexcept {
+  double* __restrict r = row;
+  const double* __restrict p = pivot;
+  for (int j = from; j < n; ++j) r[j] -= f * p[j];
+}
+
+}  // namespace pdc::kernels

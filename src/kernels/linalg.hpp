@@ -1,0 +1,25 @@
+// pdceval -- cache-blocked dense linear algebra kernels.
+//
+// matmul_rows keeps the reference's i-k-j accumulation: for every output
+// element c(i,j) the k terms are added strictly ascending, each as
+// c += a(i,k) * b(k,j). Blocking over (jj, kk) tiles only changes WHICH
+// independent output elements are in flight -- within a (i,j) pair the kk
+// tiles are visited ascending and k ascends inside each tile, so the
+// per-element operation order (and therefore every rounding step) is
+// unchanged while B tiles stay hot in cache.
+//
+// rank1_sub is the LU inner update row[j] -= f * pivot[j] with __restrict
+// pointers so the compiler can vectorize it; per-element operations are
+// untouched (independent elements, no re-association).
+#pragma once
+
+namespace pdc::kernels {
+
+/// c[m x n] = a[m x n] * b[n x n]; bit-identical to ref::matmul_rows.
+void matmul_rows(const double* a, int m, const double* b, int n, double* c);
+
+/// row[j] -= f * pivot[j] for j in [from, n). `row` and `pivot` must not
+/// overlap (distinct matrix rows).
+void rank1_sub(double* row, const double* pivot, double f, int from, int n) noexcept;
+
+}  // namespace pdc::kernels

@@ -1,0 +1,88 @@
+#include "kernels/sort.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/arena.hpp"
+#include "kernels/hostwork.hpp"
+
+namespace pdc::kernels {
+
+namespace {
+
+// Below this size the counting passes cost more than they save.
+constexpr std::size_t kSmallCutoff = 96;
+
+}  // namespace
+
+void sort_i32(std::span<std::int32_t> keys) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+  const ScopedHostWork probe;
+  if (n < kSmallCutoff) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+
+  Arena& arena = Arena::local();
+  const Arena::Frame frame(arena);
+  const std::span<std::uint32_t> scratch = arena.take<std::uint32_t>(n);
+  const std::span<std::uint32_t> hist = arena.take<std::uint32_t>(4 * 256);
+  std::memset(hist.data(), 0, hist.size_bytes());
+
+  // One read builds all four digit histograms. The sign-bias (^ 0x80000000)
+  // makes unsigned digit order equal signed key order.
+  std::uint32_t* h0 = hist.data();
+  std::uint32_t* h1 = h0 + 256;
+  std::uint32_t* h2 = h1 + 256;
+  std::uint32_t* h3 = h2 + 256;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t k = static_cast<std::uint32_t>(keys[i]) ^ 0x80000000u;
+    ++h0[k & 0xFFu];
+    ++h1[(k >> 8) & 0xFFu];
+    ++h2[(k >> 16) & 0xFFu];
+    ++h3[k >> 24];
+  }
+
+  auto* src = reinterpret_cast<std::uint32_t*>(keys.data());
+  std::uint32_t* dst = scratch.data();
+  // Source starts as the sign-biased keys: bias in place, un-bias at the end.
+  for (std::size_t i = 0; i < n; ++i) src[i] ^= 0x80000000u;
+
+  for (int pass = 0; pass < 4; ++pass) {
+    std::uint32_t* h = hist.data() + static_cast<std::size_t>(pass) * 256;
+    const int shift = pass * 8;
+    // A pass whose digit is constant over the whole input moves nothing.
+    bool trivial = false;
+    for (int d = 0; d < 256; ++d) {
+      if (h[d] == n) {
+        trivial = true;
+        break;
+      }
+      if (h[d] != 0) break;  // first non-zero bucket is not all of n
+    }
+    if (trivial) continue;
+    // Exclusive prefix sum -> bucket write cursors.
+    std::uint32_t sum = 0;
+    for (int d = 0; d < 256; ++d) {
+      const std::uint32_t c = h[d];
+      h[d] = sum;
+      sum += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t k = src[i];
+      dst[h[(k >> shift) & 0xFFu]++] = k;
+    }
+    std::swap(src, dst);
+  }
+
+  // Un-bias, copying back if the sorted data ended up in scratch.
+  auto* out = reinterpret_cast<std::uint32_t*>(keys.data());
+  if (src == out) {
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= 0x80000000u;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = src[i] ^ 0x80000000u;
+  }
+}
+
+}  // namespace pdc::kernels

@@ -14,6 +14,9 @@ std::int64_t SharedBusNetwork::frames_for(std::int64_t bytes) const noexcept {
 }
 
 std::int64_t SharedBusNetwork::wire_bytes(std::int64_t bytes) const noexcept {
+  // Non-positive counts clamp to an empty single frame -- never negative
+  // wire bytes (which would credit serialization time back to the sender).
+  if (bytes < 0) bytes = 0;
   return bytes + frames_for(bytes) * params_.frame_overhead_bytes;
 }
 

@@ -22,6 +22,10 @@ SwitchedNetwork::SwitchedNetwork(sim::Simulation& sim, std::string name, std::in
 }
 
 std::int64_t SwitchedNetwork::wire_bytes(std::int64_t bytes) const noexcept {
+  // Clamp to an empty payload: a non-positive byte count still occupies one
+  // frame/cell on the wire, and must never yield negative wire bytes (a
+  // negative count would *credit* serialization time).
+  if (bytes < 0) bytes = 0;
   if (params_.cell_payload > 0) {
     // AAL5-style: 8-byte trailer, then pad to a whole number of cells.
     const std::int64_t payload = bytes + 8;

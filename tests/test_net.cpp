@@ -56,6 +56,33 @@ TEST(SharedBus, ZeroByteMessageStillCostsAFrame) {
   EXPECT_GT(bus.wire_bytes(0), 0);
 }
 
+TEST(SharedBus, NegativeBytesClampToOneFrame) {
+  // Regression: a negative byte count used to flow straight into
+  // `bytes + frames * overhead`, producing negative wire bytes -- i.e. a
+  // serialization-time *credit*. It must cost exactly an empty frame.
+  sim::Simulation simu;
+  net::SharedBusNetwork bus(simu, "eth", {});
+  EXPECT_EQ(bus.wire_bytes(-1), bus.wire_bytes(0));
+  EXPECT_EQ(bus.wire_bytes(-1'000'000), bus.wire_bytes(0));
+  EXPECT_GT(bus.wire_bytes(-1), 0);
+}
+
+TEST(Switched, NegativeBytesClampToOneFrame) {
+  sim::Simulation simu;
+  net::SwitchedNetwork fddi(simu, "fddi", 4, {});
+  EXPECT_EQ(fddi.wire_bytes(-1), fddi.wire_bytes(0));
+  EXPECT_EQ(fddi.wire_bytes(-1'000'000), fddi.wire_bytes(0));
+  EXPECT_GT(fddi.wire_bytes(-1), 0);
+
+  // ATM cell path: negative counts pad up to a single cell, like zero.
+  net::SwitchedParams atm_p;
+  atm_p.cell_payload = 48;
+  atm_p.cell_total = 53;
+  net::SwitchedNetwork atm(simu, "atm", 4, atm_p);
+  EXPECT_EQ(atm.wire_bytes(-1), atm.wire_bytes(0));
+  EXPECT_EQ(atm.wire_bytes(-1'000'000), 53);
+}
+
 TEST(SharedBus, ChunkedFramesClosedFormMatchesPerChunkLoop) {
   // The closed form replaced an O(chunks) loop; pin it against the
   // straightforward per-chunk accumulation across awkward combinations
