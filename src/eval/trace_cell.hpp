@@ -1,0 +1,58 @@
+// pdceval -- traced re-runs of individual sweep cells.
+//
+// Any (tool, platform, primitive/app, size, procs) cell of the evaluation
+// grid can be re-run with a trace capture installed: the cell executes
+// exactly as in the sweep (same Simulation, same seed, same fault plan) and
+// the returned record stream describes it event-by-event. With tracing
+// compiled out (PDC_TRACE=OFF, the default) these entry points still run
+// the cell and return the same timing -- the record vector is just empty
+// and `enabled` is false, so callers (the pdctrace CLI, tests) degrade
+// gracefully rather than fork their logic on the build flavour.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "eval/sweep.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+
+namespace pdc::eval {
+
+/// Capture options for a traced cell run.
+struct TraceCapture {
+  std::size_t capacity{trace::Sink::kDefaultCapacity};  ///< ring slots (pow2-rounded)
+  std::uint32_t mask{trace::kDefaultMask};              ///< category filter
+};
+
+/// True when the build carries the probes (PDC_TRACE=ON).
+[[nodiscard]] constexpr bool trace_compiled_in() noexcept {
+#ifdef PDC_TRACE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+struct TracedTplCell {
+  std::optional<double> ms;            ///< same value tpl_cell_ms returns
+  std::vector<trace::Record> records;  ///< empty when probes are compiled out
+  trace::SinkStats stats;
+};
+
+struct TracedAppCell {
+  double seconds{0.0};                 ///< same value app_cell_s returns
+  std::vector<trace::Record> records;
+  trace::SinkStats stats;
+};
+
+/// Run one TPL cell with a capture installed on this thread.
+[[nodiscard]] TracedTplCell tpl_cell_traced(const TplCell& cell,
+                                            const TraceCapture& opt = {});
+
+/// Run one APL cell with a capture installed on this thread.
+[[nodiscard]] TracedAppCell app_cell_traced(const AppCell& cell,
+                                            const AplConfig& cfg = {},
+                                            const TraceCapture& opt = {});
+
+}  // namespace pdc::eval

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "trace/probe.hpp"
+
 namespace pdc::kernels {
 
 struct HostWork {
@@ -37,11 +39,18 @@ class ScopedHostWork {
   ScopedHostWork& operator=(const ScopedHostWork&) = delete;
   ~ScopedHostWork() {
     auto& acc = detail::host_work_mut();
-    acc.app_ns += static_cast<std::uint64_t>(
+    const auto wall_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start_)
             .count());
+    acc.app_ns += wall_ns;
     ++acc.calls;
+    PDC_TRACE_BLOCK {
+      // Wall clock, not simulated time: category Host, off by default so
+      // the deterministic capture mask never sees it.
+      trace::emit({.aux0 = static_cast<std::int64_t>(wall_ns),
+                   .kind = trace::Kind::HostWork});
+    }
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mp/pack.hpp"
+#include "trace/probe.hpp"
 
 namespace pdc::mp {
 
@@ -60,21 +61,57 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
   const std::int64_t n = payload ? static_cast<std::int64_t>(payload->size()) : 0;
   const auto& prof = profile();
 
+  [[maybe_unused]] std::uint64_t trace_id = 0;
+  [[maybe_unused]] std::int64_t send_begin_ns = 0;
+  PDC_TRACE_BLOCK {
+    trace_id = rt_.next_trace_msg_id();
+    send_begin_ns = sim().now().ns;
+    trace::emit({.t_ns = send_begin_ns,
+                 .bytes = n,
+                 .id = trace_id,
+                 .kind = trace::Kind::SendBegin,
+                 .rank = static_cast<std::int16_t>(rank_),
+                 .peer = static_cast<std::int16_t>(dst),
+                 .tag = tag});
+  }
+  // Closes the blocking span at each of send's exits (the blocking shapes
+  // differ per tool: see the co_returns below).
+  auto emit_send_end = [&] {
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = n,
+                   .aux1 = send_begin_ns,
+                   .id = trace_id,
+                   .kind = trace::Kind::SendEnd,
+                   .rank = static_cast<std::int16_t>(rank_),
+                   .peer = static_cast<std::int16_t>(dst),
+                   .tag = tag});
+    }
+  };
+
   // Application-side processing. With a background tx engine (Express) the
   // application only pays the fixed handoff; the copies/packetisation run
   // on the engine ahead of the wire.
-  if (prof.send_in_background) {
-    co_await sim().delay(prof.send_fixed);
-  } else {
-    co_await sim().delay(send_side_cost(n));
+  const sim::Duration app_cost = prof.send_in_background ? prof.send_fixed : send_side_cost(n);
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = sim().now().ns,
+                 .bytes = n,
+                 .aux0 = app_cost.ns,
+                 .id = trace_id,
+                 .kind = trace::Kind::Pack,
+                 .rank = static_cast<std::int16_t>(rank_),
+                 .peer = static_cast<std::int16_t>(dst),
+                 .tag = tag});
   }
+  co_await sim().delay(app_cost);
 
-  Message msg{rank_, tag, payload ? std::move(payload) : empty_payload()};
+  Message msg{rank_, tag, payload ? std::move(payload) : empty_payload(), trace_id};
 
   if (dst == rank_) {
     // Loopback: one memory copy, no wire.
     const sim::TimePoint at = sim().now() + node().cpu().copy(n);
     rt_.deliver_at(at, dst, std::move(msg));
+    emit_send_end();
     co_return;
   }
 
@@ -90,7 +127,7 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
     const double recv_copies = prof.recv_copies;
     const sim::Duration per_packet_recv = packets_for(n) * prof.per_packet_recv;
     rt_.sim().schedule_at(e1, [rt, src_rank, dst, n, background, recv_copies,
-                               per_packet_recv, msg = std::move(msg)]() mutable {
+                               per_packet_recv, trace_id, msg = std::move(msg)]() mutable {
       // Hoist before the call: `msg` is moved into the continuation, and
       // argument evaluation order is unspecified.
       Payload frame = msg.data;
@@ -107,11 +144,13 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
             } else {
               rt->deliver_at(t2, dst, std::move(msg));
             }
-          });
+          },
+          std::nullopt, trace_id);
     });
     // exsend blocks until the buffer layer has packetised the message (the
     // receive side still pipelines with the wire).
     if (prof.blocking_send) co_await sim().delay_until(e1);
+    emit_send_end();
     co_return;
   }
 
@@ -123,7 +162,9 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
     rt_.kernel_transfer(rank_, dst, n, std::move(frame),
                         [rt, dst, msg = std::move(msg)](sim::TimePoint t2) mutable {
                           rt->deliver_at(t2, dst, std::move(msg));
-                        });
+                        },
+                        std::nullopt, trace_id);
+    emit_send_end();
     co_return;
   }
 
@@ -152,7 +193,7 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
                                            .turnaround = sim::microseconds(250)};
     rt_.sim().schedule_at(
         d1, [rt, src_rank, dst, n, service, latency, daemon_hop, wire_protocol,
-             msg = std::move(msg)]() mutable {
+             trace_id, msg = std::move(msg)]() mutable {
           Payload frame = msg.data;
           rt->kernel_transfer(
               src_rank, dst, n, std::move(frame),
@@ -162,8 +203,9 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
                     daemon_hop(rt->daemon(dst), rt->sim(), service, latency);
                 rt->deliver_at(d2, dst, std::move(msg));
               },
-              wire_protocol);
+              wire_protocol, trace_id);
         });
+    emit_send_end();
     co_return;  // pvm_send does not wait for the wire
   }
 
@@ -188,25 +230,96 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
         } else {
           rt->deliver_at(t2, dst, std::move(msg));
         }
-      });
+      },
+      std::nullopt, trace_id);
   if (prof.blocking_send) co_await sim().delay_until(t1);
+  emit_send_end();
 }
 
 sim::Task<Message> Communicator::recv(int src, int tag) {
+  [[maybe_unused]] std::int64_t recv_begin_ns = 0;
+  PDC_TRACE_BLOCK { recv_begin_ns = sim().now().ns; }
   Message m = co_await rt_.mailbox(rank_).recv(TagSourceMatch{src, tag});
+  [[maybe_unused]] std::int64_t match_ns = 0;
+  PDC_TRACE_BLOCK { match_ns = sim().now().ns; }
   const auto& prof = profile();
   sim::Duration post = prof.recv_fixed;
   if (!prof.recv_in_background) {
     // In-process unpack (PVM XDR decode, p4 buffer copy).
     post += sim::from_seconds(prof.recv_copies * node().cpu().copy(m.size_bytes()).seconds());
   }
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = match_ns,
+                 .bytes = m.size_bytes(),
+                 .aux0 = post.ns,
+                 .id = m.trace_id,
+                 .kind = trace::Kind::Unpack,
+                 .rank = static_cast<std::int16_t>(rank_),
+                 .peer = static_cast<std::int16_t>(m.src),
+                 .tag = m.tag});
+  }
   co_await sim().delay(post);
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = sim().now().ns,
+                 .bytes = m.size_bytes(),
+                 .aux0 = match_ns,
+                 .aux1 = recv_begin_ns,
+                 .id = m.trace_id,
+                 .kind = trace::Kind::RecvEnd,
+                 .rank = static_cast<std::int16_t>(rank_),
+                 .peer = static_cast<std::int16_t>(m.src),
+                 .tag = m.tag});
+  }
   co_return m;
 }
 
 // -- collectives -------------------------------------------------------------
 
+namespace {
+
+/// Brackets one collective call with CollBegin/CollEnd records. Declared as
+/// a coroutine local: its destructor runs when the coroutine body exits (on
+/// any co_return path), which is exactly the collective's completion time
+/// on this rank.
+class [[maybe_unused]] CollSpan {
+ public:
+  CollSpan(sim::Simulation& sim, int rank, trace::CollOp op) noexcept
+      : sim_(sim), rank_(rank), op_(op) {
+    PDC_TRACE_BLOCK {
+      armed_ = true;
+      begin_ns_ = sim_.now().ns;
+      trace::emit({.t_ns = begin_ns_,
+                   .aux0 = static_cast<std::int64_t>(op_),
+                   .kind = trace::Kind::CollBegin,
+                   .rank = static_cast<std::int16_t>(rank_)});
+    }
+  }
+  ~CollSpan() {
+    PDC_TRACE_BLOCK {
+      if (armed_) {
+        trace::emit({.t_ns = sim_.now().ns,
+                     .aux0 = static_cast<std::int64_t>(op_),
+                     .aux1 = begin_ns_,
+                     .kind = trace::Kind::CollEnd,
+                     .rank = static_cast<std::int16_t>(rank_)});
+      }
+    }
+  }
+  CollSpan(const CollSpan&) = delete;
+  CollSpan& operator=(const CollSpan&) = delete;
+
+ private:
+  sim::Simulation& sim_;
+  int rank_;
+  trace::CollOp op_;
+  std::int64_t begin_ns_{0};
+  bool armed_{false};
+};
+
+}  // namespace
+
 sim::Task<void> Communicator::broadcast(int root, Payload& data, int tag) {
+  const CollSpan span(sim(), rank_, trace::CollOp::Broadcast);
   const int p = size();
   if (p == 1) co_return;
   const auto& prof = profile();
@@ -262,6 +375,7 @@ sim::Task<void> Communicator::broadcast(int root, Bytes& data, int tag) {
 }
 
 sim::Task<void> Communicator::barrier() {
+  const CollSpan span(sim(), rank_, trace::CollOp::Barrier);
   const int p = size();
   if (p == 1) co_return;
   switch (profile().barrier_algo) {
@@ -363,6 +477,7 @@ void assign_from(std::vector<T>& v, std::span<const T> other) {
 
 template <typename T>
 sim::Task<void> Communicator::global_sum_impl(std::vector<T>& v) {
+  const CollSpan span(sim(), rank_, trace::CollOp::GlobalSum);
   const auto& prof = profile();
   switch (prof.reduce_algo) {
     case ToolProfile::ReduceAlgo::Unsupported:
@@ -478,14 +593,33 @@ sim::Task<void> Communicator::global_sum(std::vector<std::int32_t>& v) {
 
 // -- compute billing ----------------------------------------------------------
 
+namespace {
+
+[[maybe_unused]] void emit_compute(sim::Simulation& sim, int rank, sim::Duration d) {
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = sim.now().ns,
+                 .aux0 = d.ns,
+                 .kind = trace::Kind::Compute,
+                 .rank = static_cast<std::int16_t>(rank)});
+  }
+}
+
+}  // namespace
+
 sim::Task<void> Communicator::compute_flops(double flops) {
-  co_await sim().delay(node().cpu().compute(flops));
+  const sim::Duration d = node().cpu().compute(flops);
+  emit_compute(sim(), rank_, d);
+  co_await sim().delay(d);
 }
 sim::Task<void> Communicator::compute_intops(double ops) {
-  co_await sim().delay(node().cpu().int_ops(ops));
+  const sim::Duration d = node().cpu().int_ops(ops);
+  emit_compute(sim(), rank_, d);
+  co_await sim().delay(d);
 }
 sim::Task<void> Communicator::compute_copy(std::int64_t bytes) {
-  co_await sim().delay(node().cpu().copy(bytes));
+  const sim::Duration d = node().cpu().copy(bytes);
+  emit_compute(sim(), rank_, d);
+  co_await sim().delay(d);
 }
 
 }  // namespace pdc::mp

@@ -83,6 +83,10 @@ struct Message {
   int src{kAnySource};
   int tag{kAnyTag};
   Payload data;
+  /// Trace correlation id: nonzero only while a trace capture is active on
+  /// the sending rank's thread (see trace/sink.hpp). Carried end-to-end so
+  /// the recv-side record pairs with the matching send and wire hops.
+  std::uint64_t trace_id{0};
 
   [[nodiscard]] std::int64_t size_bytes() const noexcept {
     return data ? static_cast<std::int64_t>(data->size()) : 0;

@@ -7,6 +7,7 @@
 
 #include "mp/checksum.hpp"
 #include "mp/communicator.hpp"
+#include "trace/probe.hpp"
 
 namespace pdc::mp {
 
@@ -38,6 +39,7 @@ struct Runtime::Flight {
   Payload data;
   sim::PooledFunction<void(sim::TimePoint)> delivered;
   std::optional<net::ChunkProtocol> chunked;
+  std::uint64_t trace_id{0};            // message correlation id (0: untraced)
   int attempt{0};
   bool completed{false};                // an ack reached the sender
   sim::TimePoint deadline{};            // current attempt's retransmission deadline
@@ -82,7 +84,8 @@ TransportStats Runtime::transport_total() const noexcept {
 
 sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Payload wire_data,
                                         sim::PooledFunction<void(sim::TimePoint)> delivered,
-                                        std::optional<net::ChunkProtocol> chunked) {
+                                        std::optional<net::ChunkProtocol> chunked,
+                                        std::uint64_t trace_id) {
   ++messages_sent_;
   payload_bytes_ += static_cast<std::uint64_t>(bytes);
   auto& simulation = sim();
@@ -93,11 +96,21 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
     // Fast path: the wire delivers every frame intact exactly once, so no
     // sequencing/checksum/ack machinery runs (and fault-free timings stay
     // bit-identical to the pre-fault kernel).
-    simulation.schedule_at(t1, [this, src, dst, bytes, chunked,
+    simulation.schedule_at(t1, [this, src, dst, bytes, chunked, trace_id,
                                 delivered = std::move(delivered)]() mutable {
       const sim::TimePoint arrival =
           chunked ? cluster_.network().transfer_chunked(src, dst, bytes, *chunked)
                   : cluster_.network().transfer(src, dst, bytes);
+      PDC_TRACE_BLOCK {
+        trace::emit({.t_ns = sim().now().ns,
+                     .bytes = bytes,
+                     .aux0 = arrival.ns,
+                     .aux1 = 1,  // single attempt on a reliable wire
+                     .id = trace_id,
+                     .kind = trace::Kind::MsgWire,
+                     .rank = static_cast<std::int16_t>(src),
+                     .peer = static_cast<std::int16_t>(dst)});
+      }
       sim().schedule_at(arrival, [this, dst, bytes, delivered = std::move(delivered)]() mutable {
         auto& dst_node = cluster_.node(dst);
         const sim::TimePoint t2 = dst_node.stack().reserve(dst_node.stack_service(bytes));
@@ -116,6 +129,7 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
   flight->data = std::move(wire_data);
   flight->delivered = std::move(delivered);
   flight->chunked = chunked;
+  flight->trace_id = trace_id;
   const auto& network = cluster_.network();
   const double round_trip_s =
       static_cast<double>(network.wire_bytes(bytes) + network.wire_bytes(kAckBytes)) * 8.0 /
@@ -152,6 +166,18 @@ void Runtime::transmit_attempt(const std::shared_ptr<Flight>& flight) {
           ? network.transmit_chunked(flight->src, flight->dst, flight->bytes, *flight->chunked)
           : network.transmit(flight->src, flight->dst, flight->bytes);
   flight->deadline = sim().now() + rto(*flight);
+  PDC_TRACE_BLOCK {
+    if (!d.dropped) {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = flight->bytes,
+                   .aux0 = d.arrival.ns,
+                   .aux1 = flight->attempt,
+                   .id = flight->trace_id,
+                   .kind = trace::Kind::MsgWire,
+                   .rank = static_cast<std::int16_t>(flight->src),
+                   .peer = static_cast<std::int16_t>(flight->dst)});
+    }
+  }
 
   // The event queue has no erase, so a timer armed "just in case" would pop
   // as a clock-holding no-op even after an ack cancels it. Instead the
@@ -162,6 +188,15 @@ void Runtime::transmit_attempt(const std::shared_ptr<Flight>& flight) {
   // only the pointless no-op events are skipped.
   if (d.dropped) {
     ++transport_[static_cast<std::size_t>(flight->src)].drops_seen;
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = flight->bytes,
+                   .aux0 = flight->attempt,
+                   .id = flight->seq,
+                   .kind = trace::Kind::FrameDrop,
+                   .rank = static_cast<std::int16_t>(flight->src),
+                   .peer = static_cast<std::int16_t>(flight->dst)});
+    }
     arm_retransmit(flight, flight->deadline);
     return;
   }
@@ -185,6 +220,15 @@ void Runtime::arm_retransmit(const std::shared_ptr<Flight>& flight, sim::TimePoi
     // lost ack for the same attempt) already retransmitted it.
     if (flight->completed || flight->attempt != armed_for) return;
     ++transport_[static_cast<std::size_t>(flight->src)].retransmits;
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = flight->bytes,
+                   .aux0 = armed_for,
+                   .id = flight->seq,
+                   .kind = trace::Kind::Retransmit,
+                   .rank = static_cast<std::int16_t>(flight->src),
+                   .peer = static_cast<std::int16_t>(flight->dst)});
+    }
     transmit_attempt(flight);
   });
 }
@@ -192,6 +236,14 @@ void Runtime::arm_retransmit(const std::shared_ptr<Flight>& flight, sim::TimePoi
 void Runtime::on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t wire_crc) {
   if (payload_crc(flight->data) != wire_crc) {
     ++transport_[static_cast<std::size_t>(flight->dst)].corrupt_rejected;
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = flight->bytes,
+                   .id = flight->seq,
+                   .kind = trace::Kind::CorruptReject,
+                   .rank = static_cast<std::int16_t>(flight->dst),
+                   .peer = static_cast<std::int16_t>(flight->src)});
+    }
     return;  // no ack; the sender's retransmission timer is already armed
   }
   LinkState& ls = link(flight->src, flight->dst);
@@ -199,6 +251,14 @@ void Runtime::on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t
     // Duplicate (wire duplication or a spurious retransmission). Re-ack so
     // a sender that missed the first ack stops resending.
     ++transport_[static_cast<std::size_t>(flight->dst)].dup_discarded;
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = flight->bytes,
+                   .id = flight->seq,
+                   .kind = trace::Kind::DupDiscard,
+                   .rank = static_cast<std::int16_t>(flight->dst),
+                   .peer = static_cast<std::int16_t>(flight->src)});
+    }
     send_ack(flight);
     return;
   }
@@ -227,6 +287,15 @@ void Runtime::send_ack(const std::shared_ptr<Flight>& flight) {
     // Lost ack (a corrupted ack fails the sender's CRC and is dropped
     // there). Charged to this rank: it transmitted the frame the wire ate.
     ++transport_[static_cast<std::size_t>(flight->dst)].drops_seen;
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = sim().now().ns,
+                   .bytes = kAckBytes,
+                   .aux0 = flight->attempt,
+                   .id = flight->seq,
+                   .kind = trace::Kind::FrameDrop,
+                   .rank = static_cast<std::int16_t>(flight->dst),
+                   .peer = static_cast<std::int16_t>(flight->src)});
+    }
     arm_retransmit(flight, flight->deadline);
     return;
   }

@@ -102,9 +102,18 @@ class Runtime {
   /// overhead-only transfers). `chunked` selects the fragment+ack wire
   /// protocol (PVM daemon traffic). The continuation rides in a
   /// pool-backed callable so per-message delivery never hits malloc.
+  /// `trace_id` correlates the wire hops with the originating send's trace
+  /// records; 0 (the default, and always when tracing is inactive) records
+  /// nothing.
   sim::TimePoint kernel_transfer(int src, int dst, std::int64_t bytes, Payload wire_data,
                                  sim::PooledFunction<void(sim::TimePoint)> delivered,
-                                 std::optional<net::ChunkProtocol> chunked = std::nullopt);
+                                 std::optional<net::ChunkProtocol> chunked = std::nullopt,
+                                 std::uint64_t trace_id = 0);
+
+  /// Next message correlation id for trace records. Only called while a
+  /// capture is active, so untraced runs never touch the counter and stay
+  /// byte-identical whether or not tracing is compiled in.
+  [[nodiscard]] std::uint64_t next_trace_msg_id() noexcept { return ++trace_msg_seq_; }
 
   /// Hand a message to rank `dst`'s mailbox at time `at`.
   void deliver_at(sim::TimePoint at, int dst, Message msg);
@@ -158,6 +167,7 @@ class Runtime {
   std::vector<TransportStats> transport_;  // per rank
   std::uint64_t messages_sent_{0};
   std::uint64_t payload_bytes_{0};
+  std::uint64_t trace_msg_seq_{0};
 
   friend class Communicator;
 };

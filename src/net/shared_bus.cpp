@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/probe.hpp"
+
 namespace pdc::net {
 
 SharedBusNetwork::SharedBusNetwork(sim::Simulation& sim, std::string name, SharedBusParams params)
@@ -41,11 +43,21 @@ sim::Duration SharedBusNetwork::collision_waste(std::int64_t acquisitions) const
   return acquisitions * params_.collision_overhead;
 }
 
-sim::TimePoint SharedBusNetwork::transfer(NodeId /*src*/, NodeId /*dst*/, std::int64_t bytes) {
+sim::TimePoint SharedBusNetwork::transfer(NodeId src, NodeId dst, std::int64_t bytes) {
   const std::int64_t frames = frames_for(bytes);
   const sim::Duration service = serialization(wire_bytes(bytes)) + frames * params_.per_frame_gap +
                                 collision_waste(frames);
-  return channel_.reserve(service) + params_.propagation;
+  const sim::TimePoint done = channel_.reserve(service);
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = sim_.now().ns,
+                 .bytes = wire_bytes(bytes),
+                 .aux0 = (done - service).ns,
+                 .aux1 = done.ns,
+                 .kind = trace::Kind::Frame,
+                 .rank = static_cast<std::int16_t>(src),
+                 .peer = static_cast<std::int16_t>(dst)});
+  }
+  return done + params_.propagation;
 }
 
 sim::TimePoint SharedBusNetwork::transfer_chunked(NodeId src, NodeId dst, std::int64_t bytes,
@@ -53,8 +65,6 @@ sim::TimePoint SharedBusNetwork::transfer_chunked(NodeId src, NodeId dst, std::i
   // Stop-and-wait fragments: each chunk is framed separately and trailed by
   // an ack that must itself acquire the shared channel. Under load every
   // acquisition (data frame or ack) also pays collision waste.
-  (void)src;
-  (void)dst;
   const std::int64_t chunks =
       bytes <= 0 ? 1
                  : (bytes + protocol.chunk_bytes - 1) / protocol.chunk_bytes;
@@ -67,7 +77,18 @@ sim::TimePoint SharedBusNetwork::transfer_chunked(NodeId src, NodeId dst, std::i
       chunks * (serialization(ack_wire) + params_.per_frame_gap + protocol.turnaround);
   const sim::Duration service =
       data_time + ack_time + collision_waste(frames + chunks);
-  return channel_.reserve(service) + params_.propagation;
+  const sim::TimePoint done = channel_.reserve(service);
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = sim_.now().ns,
+                 .bytes = bytes + frames * params_.frame_overhead_bytes +
+                          chunks * (protocol.ack_bytes + params_.frame_overhead_bytes),
+                 .aux0 = (done - service).ns,
+                 .aux1 = done.ns,
+                 .kind = trace::Kind::Frame,
+                 .rank = static_cast<std::int16_t>(src),
+                 .peer = static_cast<std::int16_t>(dst)});
+  }
+  return done + params_.propagation;
 }
 
 }  // namespace pdc::net

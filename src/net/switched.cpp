@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/probe.hpp"
+
 namespace pdc::net {
 
 SwitchedNetwork::SwitchedNetwork(sim::Simulation& sim, std::string name, std::int32_t nodes,
                                  SwitchedParams params)
-    : name_(std::move(name)), params_(params) {
+    : sim_(sim), name_(std::move(name)), params_(params) {
   if (nodes <= 0) throw std::invalid_argument("SwitchedNetwork: need at least one node");
   tx_.reserve(static_cast<std::size_t>(nodes));
   rx_.reserve(static_cast<std::size_t>(nodes));
@@ -55,6 +57,15 @@ sim::TimePoint SwitchedNetwork::transfer(NodeId src, NodeId dst, std::int64_t by
   // Sender occupies its tx port for access overhead + serialization.
   const sim::TimePoint tx_done = tx_[static_cast<std::size_t>(src)]->reserve(
       params_.access_overhead + ser);
+  PDC_TRACE_BLOCK {
+    trace::emit({.t_ns = sim_.now().ns,
+                 .bytes = wire_bytes(bytes),
+                 .aux0 = (tx_done - (params_.access_overhead + ser)).ns,
+                 .aux1 = tx_done.ns,
+                 .kind = trace::Kind::Frame,
+                 .rank = static_cast<std::int16_t>(src),
+                 .peer = static_cast<std::int16_t>(dst)});
+  }
   sim::TimePoint head = tx_done - ser + params_.switch_latency;  // first byte past switch
   sim::Duration stream_ser = ser;  // how long the byte stream takes past the slowest stage
 

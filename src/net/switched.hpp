@@ -62,6 +62,7 @@ class SwitchedNetwork final : public Network {
   [[nodiscard]] sim::Duration serialization(std::int64_t bytes, double rate_bps) const noexcept;
   [[nodiscard]] bool crosses_trunk(NodeId src, NodeId dst) const noexcept;
 
+  sim::Simulation& sim_;  // for trace timestamps only; timing flows via resources
   std::string name_;
   SwitchedParams params_;
   std::vector<std::unique_ptr<sim::SerialResource>> tx_;

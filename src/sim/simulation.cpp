@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/probe.hpp"
+
 namespace pdc::sim {
 
 void Simulation::spawn(Task<> process, std::string name) {
@@ -22,6 +24,12 @@ TimePoint Simulation::run(TimePoint until) {
     }
     now_ = at;
     ++events_processed_;
+    PDC_TRACE_BLOCK {
+      trace::emit({.t_ns = at.ns,
+                   .aux0 = static_cast<std::int64_t>(events_processed_),
+                   .aux1 = static_cast<std::int64_t>(queue_.size()),
+                   .kind = trace::Kind::EventDispatch});
+    }
     event();
   }
   // Surface process failures and deadlocks only once the queue has fully

@@ -1,0 +1,507 @@
+#include "trace/analyze.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace pdc::trace {
+
+namespace {
+
+[[nodiscard]] std::int64_t record_end_ns(const Record& r) noexcept {
+  switch (r.kind) {
+    case Kind::Compute:
+    case Kind::Pack:
+    case Kind::Unpack:
+      return r.t_ns + r.aux0;  // begin + duration
+    case Kind::MsgWire:
+      return r.aux0;  // arrival
+    case Kind::Frame:
+      return r.aux1;  // end of serialization window
+    case Kind::HostWork:
+      return 0;  // wall clock, not simulated time
+    default:
+      return r.t_ns;
+  }
+}
+
+/// A rank-local activity interval reconstructed from span records.
+struct Activity {
+  enum class What { Send, Recv, Compute };
+  What what{What::Compute};
+  std::int64_t t0{0};     ///< begin
+  std::int64_t t1{0};     ///< end
+  std::int64_t match{0};  ///< recv only: when the message matched
+  std::uint64_t id{0};
+  int peer{-1};
+};
+
+struct MessageInfo {
+  int src{-1};
+  std::int64_t begin{0};    ///< sender's SendBegin
+  std::int64_t enq{-1};     ///< wire enqueue (MsgWire), -1 if never on the wire
+  std::int64_t arrival{-1};  ///< latest wire arrival
+  std::int64_t bytes{0};
+};
+
+struct Indexed {
+  std::vector<std::vector<Activity>> per_rank;  // sorted by t1 (emit order)
+  std::unordered_map<std::uint64_t, MessageInfo> msgs;
+  std::int64_t makespan{0};
+  int ranks{0};
+};
+
+[[nodiscard]] Indexed build_index(std::span<const Record> records) {
+  Indexed ix;
+  int max_rank = -1;
+  for (const Record& r : records) {
+    max_rank = std::max(max_rank, static_cast<int>(r.rank));
+    if (r.kind == Kind::SendBegin || r.kind == Kind::RecvEnd) {
+      max_rank = std::max(max_rank, static_cast<int>(r.peer));
+    }
+    ix.makespan = std::max(ix.makespan, record_end_ns(r));
+  }
+  ix.ranks = max_rank + 1;
+  ix.per_rank.resize(static_cast<std::size_t>(std::max(0, ix.ranks)));
+
+  for (const Record& r : records) {
+    switch (r.kind) {
+      case Kind::SendBegin: {
+        auto& m = ix.msgs[r.id];
+        m.src = r.rank;
+        m.begin = r.t_ns;
+        m.bytes = r.bytes;
+        break;
+      }
+      case Kind::SendEnd:
+        if (r.rank >= 0) {
+          ix.per_rank[static_cast<std::size_t>(r.rank)].push_back(
+              {Activity::What::Send, r.aux1, r.t_ns, 0, r.id, r.peer});
+        }
+        break;
+      case Kind::RecvEnd:
+        if (r.rank >= 0) {
+          ix.per_rank[static_cast<std::size_t>(r.rank)].push_back(
+              {Activity::What::Recv, r.aux1, r.t_ns, r.aux0, r.id, r.peer});
+        }
+        break;
+      case Kind::Compute:
+        if (r.rank >= 0) {
+          ix.per_rank[static_cast<std::size_t>(r.rank)].push_back(
+              {Activity::What::Compute, r.t_ns, r.t_ns + r.aux0, 0, 0, -1});
+        }
+        break;
+      case Kind::MsgWire: {
+        auto it = ix.msgs.find(r.id);
+        if (it != ix.msgs.end()) {
+          if (it->second.enq < 0) it->second.enq = r.t_ns;
+          it->second.arrival = std::max(it->second.arrival, r.aux0);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Records are emitted chronologically per rank except that span-closing
+  // records arrive at span end; a stable sort on end time restores the
+  // per-rank walk order the path extractor needs.
+  for (auto& acts : ix.per_rank) {
+    std::stable_sort(acts.begin(), acts.end(),
+                     [](const Activity& a, const Activity& b) { return a.t1 < b.t1; });
+  }
+  return ix;
+}
+
+}  // namespace
+
+std::int64_t makespan_ns(std::span<const Record> records) {
+  std::int64_t end = 0;
+  for (const Record& r : records) end = std::max(end, record_end_ns(r));
+  return end;
+}
+
+std::vector<RankBreakdown> blocking_breakdown(std::span<const Record> records) {
+  int max_rank = -1;
+  for (const Record& r : records) max_rank = std::max(max_rank, static_cast<int>(r.rank));
+  if (max_rank < 0) return {};
+  std::vector<RankBreakdown> out(static_cast<std::size_t>(max_rank) + 1);
+  for (int r = 0; r <= max_rank; ++r) out[static_cast<std::size_t>(r)].rank = r;
+
+  const std::int64_t horizon = makespan_ns(records);
+  for (const Record& r : records) {
+    if (r.rank < 0) continue;
+    RankBreakdown& b = out[static_cast<std::size_t>(r.rank)];
+    switch (r.kind) {
+      case Kind::SendBegin:
+        ++b.sends;
+        break;
+      case Kind::SendEnd:
+        b.send_ns += r.t_ns - r.aux1;
+        break;
+      case Kind::RecvEnd:
+        ++b.recvs;
+        b.recv_wait_ns += std::max<std::int64_t>(0, r.aux0 - r.aux1);
+        b.unpack_ns += std::max<std::int64_t>(0, r.t_ns - r.aux0);
+        break;
+      case Kind::Compute:
+        b.compute_ns += r.aux0;
+        break;
+      case Kind::Frame:
+        b.queue_ns += std::max<std::int64_t>(0, r.aux0 - r.t_ns);
+        b.wire_ns += std::max<std::int64_t>(0, r.aux1 - r.aux0);
+        break;
+      case Kind::Retransmit:
+        ++b.retransmits;
+        break;
+      case Kind::FrameDrop:
+        ++b.drops_seen;
+        break;
+      case Kind::CorruptReject:
+        ++b.corrupt_rejected;
+        break;
+      case Kind::DupDiscard:
+        ++b.dup_discarded;
+        break;
+      default:
+        break;
+    }
+  }
+  for (RankBreakdown& b : out) {
+    const std::int64_t accounted =
+        b.compute_ns + b.send_ns + b.recv_wait_ns + b.unpack_ns;
+    b.other_ns = std::max<std::int64_t>(0, horizon - accounted);
+  }
+  return out;
+}
+
+std::int64_t CommMatrix::total_bytes() const noexcept {
+  std::int64_t t = 0;
+  for (auto v : bytes) t += v;
+  return t;
+}
+std::int64_t CommMatrix::total_msgs() const noexcept {
+  std::int64_t t = 0;
+  for (auto v : msgs) t += v;
+  return t;
+}
+
+CommMatrix comm_matrix(std::span<const Record> records) {
+  int max_rank = -1;
+  for (const Record& r : records) {
+    if (r.kind != Kind::SendBegin) continue;
+    max_rank = std::max({max_rank, static_cast<int>(r.rank), static_cast<int>(r.peer)});
+  }
+  CommMatrix m;
+  m.p = max_rank + 1;
+  if (m.p <= 0) return m;
+  const auto n = static_cast<std::size_t>(m.p) * static_cast<std::size_t>(m.p);
+  m.bytes.assign(n, 0);
+  m.msgs.assign(n, 0);
+  for (const Record& r : records) {
+    if (r.kind != Kind::SendBegin || r.rank < 0 || r.peer < 0) continue;
+    const auto at = static_cast<std::size_t>(r.rank) * static_cast<std::size_t>(m.p) +
+                    static_cast<std::size_t>(r.peer);
+    m.bytes[at] += r.bytes;
+    m.msgs[at] += 1;
+  }
+  return m;
+}
+
+LinkUtilization link_utilization(std::span<const Record> records, int buckets) {
+  LinkUtilization u;
+  u.span_ns = makespan_ns(records);
+  u.buckets = std::max(1, buckets);
+  std::map<std::pair<int, int>, LinkUsage> links;
+  for (const Record& r : records) {
+    if (r.kind != Kind::Frame) continue;
+    LinkUsage& l = links[{r.rank, r.peer}];
+    l.src = r.rank;
+    l.dst = r.peer;
+    l.busy_ns += std::max<std::int64_t>(0, r.aux1 - r.aux0);
+    l.queue_ns += std::max<std::int64_t>(0, r.aux0 - r.t_ns);
+    ++l.frames;
+    l.wire_bytes += r.bytes;
+    if (l.timeline.empty()) l.timeline.assign(static_cast<std::size_t>(u.buckets), 0);
+    if (u.span_ns > 0) {
+      // Distribute the busy window across the buckets it overlaps.
+      const std::int64_t width = (u.span_ns + u.buckets - 1) / u.buckets;
+      for (std::int64_t t = r.aux0; t < r.aux1;) {
+        const std::int64_t b = std::min<std::int64_t>(t / width, u.buckets - 1);
+        const std::int64_t bucket_end = std::min<std::int64_t>((b + 1) * width, r.aux1);
+        l.timeline[static_cast<std::size_t>(b)] += bucket_end - t;
+        t = bucket_end;
+      }
+    }
+  }
+  u.links.reserve(links.size());
+  for (auto& [key, l] : links) u.links.push_back(std::move(l));
+  return u;
+}
+
+const char* to_string(PathSegment::Kind k) noexcept {
+  switch (k) {
+    case PathSegment::Kind::Compute: return "compute";
+    case PathSegment::Kind::Overhead: return "tool-overhead";
+    case PathSegment::Kind::Wire: return "wire";
+    case PathSegment::Kind::RecvWait: return "recv-wait";
+  }
+  return "?";
+}
+
+std::vector<PathSegment> CriticalPath::top(std::size_t k) const {
+  std::vector<PathSegment> out = segments;
+  std::sort(out.begin(), out.end(), [](const PathSegment& a, const PathSegment& b) {
+    if (a.duration_ns() != b.duration_ns()) return a.duration_ns() > b.duration_ns();
+    return a.t0_ns < b.t0_ns;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+CriticalPath critical_path(std::span<const Record> records) {
+  CriticalPath path;
+  Indexed ix = build_index(records);
+  path.makespan_ns = ix.makespan;
+  if (ix.ranks <= 0) return path;
+
+  // Start at the activity that finishes last anywhere.
+  int rank = -1;
+  std::int64_t cursor = -1;
+  for (int r = 0; r < ix.ranks; ++r) {
+    const auto& acts = ix.per_rank[static_cast<std::size_t>(r)];
+    if (!acts.empty() && acts.back().t1 > cursor) {
+      cursor = acts.back().t1;
+      rank = r;
+    }
+  }
+  if (rank < 0) return path;
+
+  // Each rank is consumed strictly backward: walk_idx[r] is the first
+  // not-yet-considered activity index + 1, so every activity is visited at
+  // most once and the walk always terminates.
+  std::vector<std::size_t> walk_idx(static_cast<std::size_t>(ix.ranks));
+  for (int r = 0; r < ix.ranks; ++r) {
+    walk_idx[static_cast<std::size_t>(r)] = ix.per_rank[static_cast<std::size_t>(r)].size();
+  }
+
+  auto push = [&](PathSegment::Kind kind, int seg_rank, int peer, std::uint64_t id,
+                  std::int64_t t0, std::int64_t t1) {
+    if (t1 <= t0) return;
+    path.segments.push_back({kind, seg_rank, peer, id, t0, t1});
+  };
+
+  while (cursor > 0) {
+    auto& acts = ix.per_rank[static_cast<std::size_t>(rank)];
+    std::size_t& idx = walk_idx[static_cast<std::size_t>(rank)];
+    // Latest unconsumed activity on this rank ending at or before the cursor.
+    while (idx > 0 && acts[idx - 1].t1 > cursor) --idx;
+    if (idx == 0) break;
+    const Activity a = acts[--idx];
+    const std::int64_t end = std::min(a.t1, cursor);
+
+    switch (a.what) {
+      case Activity::What::Compute:
+        push(PathSegment::Kind::Compute, rank, -1, 0, a.t0, end);
+        cursor = a.t0;
+        break;
+      case Activity::What::Send:
+        push(PathSegment::Kind::Overhead, rank, a.peer, a.id, a.t0, end);
+        cursor = a.t0;
+        break;
+      case Activity::What::Recv: {
+        const std::int64_t match = std::min(a.match, end);
+        push(PathSegment::Kind::Overhead, rank, a.peer, a.id, match, end);
+        if (match <= a.t0) {  // message was already there: the path stays local
+          cursor = a.t0;
+          break;
+        }
+        const auto it = ix.msgs.find(a.id);
+        if (it == ix.msgs.end() || it->second.src < 0 ||
+            it->second.src >= ix.ranks) {
+          // Loopback or truncated stream: charge the wait to this rank.
+          push(PathSegment::Kind::RecvWait, rank, a.peer, a.id, a.t0, match);
+          cursor = a.t0;
+          break;
+        }
+        const MessageInfo& m = it->second;
+        const std::int64_t ts = std::min(m.begin, match);
+        if (m.enq >= 0 && m.arrival > m.enq) {
+          const std::int64_t enq = std::clamp(m.enq, ts, match);
+          const std::int64_t arr = std::clamp(m.arrival, enq, match);
+          push(PathSegment::Kind::Overhead, rank, m.src, a.id, arr, match);
+          push(PathSegment::Kind::Wire, m.src, rank, a.id, enq, arr);
+          push(PathSegment::Kind::Overhead, m.src, rank, a.id, ts, enq);
+        } else {
+          push(PathSegment::Kind::Overhead, m.src, rank, a.id, ts, match);
+        }
+        rank = m.src;
+        cursor = ts;
+        break;
+      }
+    }
+  }
+
+  std::reverse(path.segments.begin(), path.segments.end());
+  for (const PathSegment& s : path.segments) {
+    path.covered_ns += s.duration_ns();
+    switch (s.kind) {
+      case PathSegment::Kind::Compute:
+        path.compute_ns += s.duration_ns();
+        break;
+      case PathSegment::Kind::Wire:
+        path.wire_ns += s.duration_ns();
+        break;
+      default:
+        path.overhead_ns += s.duration_ns();
+        break;
+    }
+  }
+  return path;
+}
+
+namespace {
+
+void append_timeline(std::string& out, std::span<const Record> records,
+                     std::int64_t horizon) {
+  // One 64-column strip per rank; each column shows the dominant activity
+  // in its time slice: C compute, S send, r recv-wait, u unpack, . idle.
+  int max_rank = -1;
+  for (const Record& r : records) max_rank = std::max(max_rank, static_cast<int>(r.rank));
+  if (max_rank < 0 || horizon <= 0) return;
+  constexpr int kCols = 64;
+  const std::int64_t width = (horizon + kCols - 1) / kCols;
+  out += "timeline (per rank, " + std::to_string(horizon) + " ns across " +
+         std::to_string(kCols) + " cols: C compute, S send, r recv-wait, u unpack)\n";
+  for (int rk = 0; rk <= max_rank; ++rk) {
+    // Per column, ns of each class; dominant wins.
+    std::vector<std::array<std::int64_t, 4>> cols(kCols, {0, 0, 0, 0});
+    auto charge = [&](int cls, std::int64_t t0, std::int64_t t1) {
+      t0 = std::clamp<std::int64_t>(t0, 0, horizon);
+      t1 = std::clamp<std::int64_t>(t1, 0, horizon);
+      for (std::int64_t t = t0; t < t1;) {
+        const std::int64_t c = std::min<std::int64_t>(t / width, kCols - 1);
+        const std::int64_t cell_end = std::min((c + 1) * width, t1);
+        cols[static_cast<std::size_t>(c)][static_cast<std::size_t>(cls)] += cell_end - t;
+        t = cell_end;
+      }
+    };
+    for (const Record& r : records) {
+      if (r.rank != rk) continue;
+      switch (r.kind) {
+        case Kind::Compute: charge(0, r.t_ns, r.t_ns + r.aux0); break;
+        case Kind::SendEnd: charge(1, r.aux1, r.t_ns); break;
+        case Kind::RecvEnd:
+          charge(2, r.aux1, r.aux0);
+          charge(3, r.aux0, r.t_ns);
+          break;
+        default: break;
+      }
+    }
+    std::string strip(kCols, '.');
+    static constexpr char kGlyph[4] = {'C', 'S', 'r', 'u'};
+    for (int c = 0; c < kCols; ++c) {
+      std::int64_t best = 0;
+      for (int cls = 0; cls < 4; ++cls) {
+        const std::int64_t v = cols[static_cast<std::size_t>(c)][static_cast<std::size_t>(cls)];
+        if (v > best) {
+          best = v;
+          strip[static_cast<std::size_t>(c)] = kGlyph[cls];
+        }
+      }
+    }
+    char head[32];
+    std::snprintf(head, sizeof(head), "  rank %-3d |", rk);
+    out += head;
+    out += strip;
+    out += "|\n";
+  }
+}
+
+}  // namespace
+
+std::string text_report(std::span<const Record> records) {
+  std::string out;
+  char line[256];
+  const std::int64_t horizon = makespan_ns(records);
+  std::snprintf(line, sizeof(line), "records: %zu   makespan: %.3f ms\n",
+                records.size(), static_cast<double>(horizon) * 1e-6);
+  out += line;
+
+  const auto breakdown = blocking_breakdown(records);
+  if (!breakdown.empty()) {
+    out += "\nper-rank blocking breakdown (ms):\n";
+    out += "  rank   compute      send recv-wait    unpack     other  rexmit\n";
+    for (const RankBreakdown& b : breakdown) {
+      std::snprintf(line, sizeof(line), "  %4d %9.3f %9.3f %9.3f %9.3f %9.3f %7lld\n",
+                    b.rank, static_cast<double>(b.compute_ns) * 1e-6,
+                    static_cast<double>(b.send_ns) * 1e-6,
+                    static_cast<double>(b.recv_wait_ns) * 1e-6,
+                    static_cast<double>(b.unpack_ns) * 1e-6,
+                    static_cast<double>(b.other_ns) * 1e-6,
+                    static_cast<long long>(b.retransmits));
+      out += line;
+    }
+  }
+
+  const CommMatrix m = comm_matrix(records);
+  if (m.p > 0) {
+    std::snprintf(line, sizeof(line),
+                  "\ncommunication matrix (%d ranks, %lld msgs, %lld payload bytes):\n", m.p,
+                  static_cast<long long>(m.total_msgs()),
+                  static_cast<long long>(m.total_bytes()));
+    out += line;
+    for (int s = 0; s < m.p; ++s) {
+      out += "  ";
+      for (int d = 0; d < m.p; ++d) {
+        std::snprintf(line, sizeof(line), "%10lld", static_cast<long long>(m.bytes_at(s, d)));
+        out += line;
+      }
+      out += "\n";
+    }
+  }
+
+  const LinkUtilization lu = link_utilization(records);
+  if (!lu.links.empty()) {
+    out += "\nlink utilisation (serialization busy / makespan):\n";
+    for (const LinkUsage& l : lu.links) {
+      std::snprintf(line, sizeof(line),
+                    "  %3d->%-3d %6.2f%%  frames %6lld  wire bytes %10lld  queue %9.3f ms\n",
+                    l.src, l.dst, 100.0 * lu.utilization(l), static_cast<long long>(l.frames),
+                    static_cast<long long>(l.wire_bytes),
+                    static_cast<double>(l.queue_ns) * 1e-6);
+      out += line;
+    }
+  }
+
+  const CriticalPath cp = critical_path(records);
+  if (!cp.segments.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "\ncritical path: %.3f ms covered (%.1f%% of makespan) -- "
+                  "wire %.3f ms, tool overhead %.3f ms, compute %.3f ms\n",
+                  static_cast<double>(cp.covered_ns) * 1e-6, 100.0 * cp.coverage(),
+                  static_cast<double>(cp.wire_ns) * 1e-6,
+                  static_cast<double>(cp.overhead_ns) * 1e-6,
+                  static_cast<double>(cp.compute_ns) * 1e-6);
+    out += line;
+    out += "top path segments:\n";
+    for (const PathSegment& s : cp.top(10)) {
+      std::snprintf(line, sizeof(line),
+                    "  %-13s rank %-3d peer %-3d  [%9.3f .. %9.3f] ms  %9.3f ms\n",
+                    to_string(s.kind), s.rank, s.peer,
+                    static_cast<double>(s.t0_ns) * 1e-6,
+                    static_cast<double>(s.t1_ns) * 1e-6,
+                    static_cast<double>(s.duration_ns()) * 1e-6);
+      out += line;
+    }
+  }
+
+  out += "\n";
+  append_timeline(out, records, horizon);
+  return out;
+}
+
+}  // namespace pdc::trace

@@ -1,0 +1,147 @@
+// pdceval -- post-run analyses over a trace record stream.
+//
+// All analyses are pure functions of the record vector (integers in,
+// integers out): no floating point feeds any ordering decision, so results
+// are bit-identical across platforms and sweep thread counts. Doubles
+// appear only in convenience ratios at the reporting boundary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace pdc::trace {
+
+/// End of the last traced occurrence, in simulated ns (0 for an empty
+/// stream). Span-closing records contribute their end time, Compute spans
+/// contribute begin+duration, wire hops their arrival.
+[[nodiscard]] std::int64_t makespan_ns(std::span<const Record> records);
+
+// -- per-rank blocking-time breakdown ----------------------------------------
+
+/// Where one rank's simulated time went. Categories partition the rank's
+/// *accounted* activity; `other_ns` is the remainder up to the global
+/// makespan (idle after finishing, untraced waits).
+struct RankBreakdown {
+  int rank{0};
+  std::int64_t compute_ns{0};    ///< billed CPU spans (flops/intops/copies)
+  std::int64_t send_ns{0};       ///< blocking portion of sends
+  std::int64_t recv_wait_ns{0};  ///< recv posted until message matched
+  std::int64_t unpack_ns{0};     ///< recv post-processing (decode/copy)
+  std::int64_t queue_ns{0};      ///< frames this rank sent: wait for the wire
+  std::int64_t wire_ns{0};       ///< frames this rank sent: serialization
+  std::int64_t other_ns{0};      ///< makespan minus accounted rank activity
+  std::int64_t sends{0};
+  std::int64_t recvs{0};
+  std::int64_t retransmits{0};
+  std::int64_t drops_seen{0};
+  std::int64_t corrupt_rejected{0};
+  std::int64_t dup_discarded{0};
+};
+
+/// One entry per rank seen in the stream, ordered by rank.
+[[nodiscard]] std::vector<RankBreakdown> blocking_breakdown(
+    std::span<const Record> records);
+
+// -- P x P communication matrix ----------------------------------------------
+
+struct CommMatrix {
+  int p{0};                         ///< ranks (matrix is p*p, row-major by src)
+  std::vector<std::int64_t> bytes;  ///< payload bytes src -> dst
+  std::vector<std::int64_t> msgs;   ///< message count src -> dst
+
+  [[nodiscard]] std::int64_t bytes_at(int src, int dst) const {
+    return bytes[static_cast<std::size_t>(src) * static_cast<std::size_t>(p) +
+                 static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] std::int64_t msgs_at(int src, int dst) const {
+    return msgs[static_cast<std::size_t>(src) * static_cast<std::size_t>(p) +
+                static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] std::int64_t total_bytes() const noexcept;
+  [[nodiscard]] std::int64_t total_msgs() const noexcept;
+};
+
+[[nodiscard]] CommMatrix comm_matrix(std::span<const Record> records);
+
+// -- per-link utilisation ----------------------------------------------------
+
+struct LinkUsage {
+  int src{0};
+  int dst{0};
+  std::int64_t busy_ns{0};     ///< summed serialization windows
+  std::int64_t queue_ns{0};    ///< summed enqueue-to-service waits
+  std::int64_t frames{0};
+  std::int64_t wire_bytes{0};
+  /// Busy ns per time bucket over [0, makespan) (buckets chosen by caller).
+  std::vector<std::int64_t> timeline;
+};
+
+struct LinkUtilization {
+  std::int64_t span_ns{0};  ///< analysis horizon (trace makespan)
+  int buckets{0};
+  std::vector<LinkUsage> links;  ///< ordered by (src, dst)
+
+  [[nodiscard]] double utilization(const LinkUsage& l) const noexcept {
+    return span_ns > 0 ? static_cast<double>(l.busy_ns) / static_cast<double>(span_ns)
+                       : 0.0;
+  }
+};
+
+[[nodiscard]] LinkUtilization link_utilization(std::span<const Record> records,
+                                               int buckets = 16);
+
+// -- critical path -----------------------------------------------------------
+
+/// One segment of the longest recv-after-send dependency chain that ends at
+/// the trace's final event. Segments are disjoint and chronological.
+struct PathSegment {
+  enum class Kind {
+    Compute,   ///< billed CPU work on `rank`
+    Overhead,  ///< tool cost: send/recv fixed+copy, daemon hops, stack queueing
+    Wire,      ///< network serialization + propagation of the message
+    RecvWait,  ///< receiver posted early; charged when the path stays local
+  };
+  Kind kind{Kind::Overhead};
+  int rank{0};            ///< rank whose clock this segment occupies
+  int peer{-1};           ///< message counterpart (Wire/Overhead edge parts)
+  std::uint64_t msg_id{0};
+  std::int64_t t0_ns{0};
+  std::int64_t t1_ns{0};
+
+  [[nodiscard]] std::int64_t duration_ns() const noexcept { return t1_ns - t0_ns; }
+};
+
+[[nodiscard]] const char* to_string(PathSegment::Kind k) noexcept;
+
+struct CriticalPath {
+  std::int64_t makespan_ns{0};
+  std::int64_t covered_ns{0};   ///< summed segment durations (disjoint)
+  std::int64_t compute_ns{0};
+  std::int64_t overhead_ns{0};  ///< tool fixed costs on the path
+  std::int64_t wire_ns{0};      ///< wire time on the path
+  std::vector<PathSegment> segments;  ///< chronological
+
+  /// Fraction of the makespan the extracted chain explains.
+  [[nodiscard]] double coverage() const noexcept {
+    return makespan_ns > 0
+               ? static_cast<double>(covered_ns) / static_cast<double>(makespan_ns)
+               : 0.0;
+  }
+  /// The k longest segments, longest first (ties: earlier first).
+  [[nodiscard]] std::vector<PathSegment> top(std::size_t k) const;
+};
+
+/// Walk backward from the last traced event through the message dependency
+/// graph: a recv that waited jumps to its sender's matching send; local
+/// activity chains within the rank. See DESIGN.md section 5.11.
+[[nodiscard]] CriticalPath critical_path(std::span<const Record> records);
+
+/// Human-readable multi-line report over all analyses (the pdctrace CLI's
+/// --report output).
+[[nodiscard]] std::string text_report(std::span<const Record> records);
+
+}  // namespace pdc::trace

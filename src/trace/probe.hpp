@@ -1,0 +1,28 @@
+// pdceval -- instrumentation gate for the tracing probes.
+//
+// Call sites in the sim kernel, message-passing runtime, network models and
+// compute-kernel layer wrap their record construction in PDC_TRACE_BLOCK:
+//
+//   PDC_TRACE_BLOCK {
+//     trace::emit({.t_ns = sim.now().ns, .kind = trace::Kind::SendBegin, ...});
+//   }
+//
+// Two gates stack:
+//   * compile time -- the PDC_TRACE CMake option defines PDC_TRACE_ENABLED.
+//     Without it the block is `if constexpr (false)`: still type-checked,
+//     emitted as nothing, so the default build carries zero probe code and
+//     all goldens/benches are trivially bit-identical to the pre-trace tree.
+//   * run time -- with probes compiled in, the block costs one thread-local
+//     load and a null test unless a ScopedCapture installed a Sink on this
+//     thread. Installing a sink is per run (per sweep cell), so traced and
+//     untraced cells coexist in one process.
+#pragma once
+
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+
+#ifdef PDC_TRACE_ENABLED
+#define PDC_TRACE_BLOCK if (::pdc::trace::active())
+#else
+#define PDC_TRACE_BLOCK if constexpr (false)
+#endif

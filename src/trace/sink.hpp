@@ -1,0 +1,120 @@
+// pdceval -- trace sink: a per-worker binary ring buffer of Records.
+//
+// One Sink belongs to exactly one capture on one thread (the simulation is
+// single-threaded; sweep workers each run their own cells), so the emit
+// path is lock-free by construction: a masked branch, one 56-byte store,
+// two index bumps. The buffer is a power-of-two ring in flight-recorder
+// mode -- when it saturates, the oldest record is overwritten and counted
+// as dropped, so a bounded capture always holds the most recent window.
+//
+// Installation is via a thread-local current-sink pointer (ScopedCapture).
+// The instrumentation probes compiled into the sim/mp/net/kernels layers
+// (see trace/probe.hpp) check that pointer: tracing disabled at runtime is
+// one thread-local load and a null test; tracing compiled out (the default
+// PDC_TRACE=OFF build) is no code at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace pdc::trace {
+
+struct SinkStats {
+  std::uint64_t emitted{0};  ///< records accepted past the category mask
+  std::uint64_t dropped{0};  ///< of which: overwritten after saturation
+
+  friend bool operator==(const SinkStats&, const SinkStats&) = default;
+};
+
+class Sink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+  explicit Sink(std::size_t capacity = kDefaultCapacity,
+                std::uint32_t mask = kDefaultMask)
+      : mask_(mask) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+  }
+
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  /// Store one record (emit order == chronological order for a
+  /// single-threaded simulation). O(1), no allocation.
+  void emit(const Record& r) noexcept {
+    if ((mask_ & category(r.kind)) == 0) return;
+    ++stats_.emitted;
+    buf_[head_] = r;
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      ++stats_.dropped;  // overwrote the oldest surviving record
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t mask() const noexcept { return mask_; }
+  [[nodiscard]] const SinkStats& stats() const noexcept { return stats_; }
+
+  /// Surviving records in emit order (oldest first).
+  [[nodiscard]] std::vector<Record> snapshot() const {
+    std::vector<Record> out;
+    out.reserve(size_);
+    const std::size_t start = (head_ + buf_.size() - size_) & (buf_.size() - 1);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(buf_[(start + i) & (buf_.size() - 1)]);
+    }
+    return out;
+  }
+
+  /// Forget everything but keep capacity and mask (capture reuse).
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    stats_ = {};
+  }
+
+ private:
+  std::vector<Record> buf_;  // power-of-two ring
+  std::size_t head_{0};      // next write slot
+  std::size_t size_{0};      // live records
+  std::uint32_t mask_;
+  SinkStats stats_{};
+};
+
+namespace detail {
+inline thread_local Sink* tl_sink = nullptr;
+}  // namespace detail
+
+/// The sink currently capturing on this thread (nullptr: tracing runtime-
+/// disabled). This is the cached flag the probes branch on.
+[[nodiscard]] inline Sink* current() noexcept { return detail::tl_sink; }
+[[nodiscard]] inline bool active() noexcept { return detail::tl_sink != nullptr; }
+
+/// Store `r` into the current sink, if any.
+inline void emit(const Record& r) noexcept {
+  if (Sink* s = detail::tl_sink) s->emit(r);
+}
+
+/// RAII capture installer; restores the previous sink (captures nest).
+class ScopedCapture {
+ public:
+  explicit ScopedCapture(Sink& sink) noexcept : prev_(detail::tl_sink) {
+    detail::tl_sink = &sink;
+  }
+  ~ScopedCapture() { detail::tl_sink = prev_; }
+  ScopedCapture(const ScopedCapture&) = delete;
+  ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+ private:
+  Sink* prev_;
+};
+
+}  // namespace pdc::trace

@@ -11,6 +11,7 @@
 
 #include "eval/paper_data.hpp"
 #include "eval/sweep.hpp"
+#include "eval/trace_cell.hpp"
 #include "fault/plan.hpp"
 
 namespace pdc::eval {
@@ -225,6 +226,44 @@ TEST(SweepDeterminism, FaultedSweepReplaysBitIdenticallyAcrossThreadCounts) {
     EXPECT_EQ(fault_parallel.injected.corruptions, fault_serial.injected.corruptions);
     EXPECT_EQ(fault_parallel.injected.duplicates, fault_serial.injected.duplicates);
     EXPECT_EQ(fault_parallel.injected.reorders, fault_serial.injected.reorders);
+  }
+}
+
+TEST(SweepDeterminism, TraceStreamsAreBitIdenticalAcrossThreadCounts) {
+  // Each cell re-run with a capture installed must produce the identical
+  // record stream no matter which sweep worker executes it: the sink is
+  // thread-local per cell and the simulation is single-threaded, so the
+  // stream is a pure function of the cell. In the default PDC_TRACE=OFF
+  // build the streams are empty and this degenerates to the timing check;
+  // the CI trace job runs it with the probes compiled in.
+  std::vector<TplCell> cells;
+  for (auto tool : {ToolKind::P4, ToolKind::Pvm, ToolKind::Express}) {
+    for (std::int64_t bytes : {16, 16384}) {
+      TplCell c;
+      c.tool = tool;
+      c.bytes = bytes;
+      cells.push_back(c);
+    }
+  }
+  auto run = [&](unsigned threads) {
+    return parallel_map<TracedTplCell>(
+        cells.size(), [&](std::size_t i) { return tpl_cell_traced(cells[i]); },
+        threads);
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial.front().records.empty(), !trace_compiled_in());
+  for (unsigned threads : {2u, 8u}) {
+    const auto fanned = run(threads);
+    ASSERT_EQ(fanned.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(fanned[i].ms, serial[i].ms) << "cell " << i;
+      EXPECT_EQ(fanned[i].stats, serial[i].stats) << "cell " << i;
+      ASSERT_EQ(fanned[i].records.size(), serial[i].records.size()) << "cell " << i;
+      for (std::size_t r = 0; r < serial[i].records.size(); ++r) {
+        ASSERT_EQ(fanned[i].records[r], serial[i].records[r])
+            << "cell " << i << " record " << r << " at " << threads << " threads";
+      }
+    }
   }
 }
 

@@ -1,0 +1,298 @@
+// pdceval -- pdctrace: run one evaluation-grid cell with tracing enabled
+// and export/report the resulting event stream.
+//
+//   pdctrace --tool p4 --platform ethernet --primitive sendrecv
+//            --bytes 1 --procs 2 --json trace.json
+//   pdctrace --tool pvm --platform fddi --app fft --procs 4 --report
+//   pdctrace --trace-cell p4:ethernet:sendrecv:1:2 --json trace.json
+//   pdctrace --validate trace.json
+//
+// Built in every configuration. With PDC_TRACE=OFF the cell still runs and
+// the timing is printed, but the stream is empty (a warning says so) --
+// exported files are valid but contain no events.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/trace_cell.hpp"
+#include "trace/analyze.hpp"
+#include "trace/export.hpp"
+
+namespace {
+
+using pdc::eval::AppCell;
+using pdc::eval::AppKind;
+using pdc::eval::Primitive;
+using pdc::eval::TplCell;
+
+struct Options {
+  TplCell tpl;
+  AppCell app;
+  bool is_app{false};
+  pdc::eval::TraceCapture capture;
+  std::string json_path;
+  std::string csv_path;
+  std::string validate_path;
+  bool report{true};
+  double drop{0.0};
+  double corrupt{0.0};
+  double duplicate{0.0};
+  std::uint64_t seed{0xFA17};
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "pdctrace: trace one evaluation cell\n"
+               "  --tool p4|pvm|express         message-passing tool\n"
+               "  --platform ethernet|atmlan|atmwan|fddi|sp1switch|sp1ethernet\n"
+               "  --primitive sendrecv|broadcast|ring|globalsum   (TPL cell)\n"
+               "  --app jpeg|fft|mc|psrs                          (APL cell)\n"
+               "  --bytes N --procs N --ints N  cell size parameters\n"
+               "  --drop R --corrupt R --dup R --seed S   fault plan\n"
+               "  --buffer N                    trace ring capacity (records)\n"
+               "  --categories LIST             default|all|mp,net,transport,sim,host\n"
+               "  --json FILE --csv FILE        exporters\n"
+               "  --report / --no-report        text analysis (default on)\n"
+               "  --trace-cell T:P:W:B:N        compact cell spec (tool:platform:\n"
+               "                                primitive-or-app:bytes:procs)\n"
+               "  --validate FILE               JSON-shape check an exported trace\n");
+  std::exit(code);
+}
+
+[[nodiscard]] bool parse_tool(const std::string& s, pdc::mp::ToolKind& out) {
+  if (s == "p4") out = pdc::mp::ToolKind::P4;
+  else if (s == "pvm") out = pdc::mp::ToolKind::Pvm;
+  else if (s == "express") out = pdc::mp::ToolKind::Express;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] bool parse_platform(const std::string& s, pdc::host::PlatformId& out) {
+  using pdc::host::PlatformId;
+  if (s == "ethernet") out = PlatformId::SunEthernet;
+  else if (s == "atmlan") out = PlatformId::SunAtmLan;
+  else if (s == "atmwan") out = PlatformId::SunAtmWan;
+  else if (s == "fddi") out = PlatformId::AlphaFddi;
+  else if (s == "sp1switch") out = PlatformId::Sp1Switch;
+  else if (s == "sp1ethernet") out = PlatformId::Sp1Ethernet;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] bool parse_primitive(const std::string& s, Primitive& out) {
+  if (s == "sendrecv") out = Primitive::SendRecv;
+  else if (s == "broadcast") out = Primitive::Broadcast;
+  else if (s == "ring") out = Primitive::Ring;
+  else if (s == "globalsum") out = Primitive::GlobalSum;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] bool parse_app(const std::string& s, AppKind& out) {
+  if (s == "jpeg") out = AppKind::Jpeg;
+  else if (s == "fft") out = AppKind::Fft2d;
+  else if (s == "mc") out = AppKind::MonteCarlo;
+  else if (s == "psrs") out = AppKind::Psrs;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] bool parse_categories(const std::string& list, std::uint32_t& mask) {
+  mask = 0;
+  std::stringstream ss(list);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (part == "default") mask |= pdc::trace::kDefaultMask;
+    else if (part == "all") mask |= pdc::trace::kAllMask;
+    else if (part == "mp") mask |= pdc::trace::kCatMp;
+    else if (part == "net") mask |= pdc::trace::kCatNet;
+    else if (part == "transport") mask |= pdc::trace::kCatTransport;
+    else if (part == "sim") mask |= pdc::trace::kCatSim;
+    else if (part == "host") mask |= pdc::trace::kCatHost;
+    else return false;
+  }
+  return mask != 0;
+}
+
+/// tool:platform:primitive-or-app:bytes:procs ("p4:ethernet:sendrecv:1:2").
+/// Empty trailing fields keep their defaults.
+[[nodiscard]] bool parse_cell_spec(const std::string& spec, Options& o) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ':')) parts.push_back(part);
+  if (parts.size() < 3 || parts.size() > 5) return false;
+  if (!parse_tool(parts[0], o.tpl.tool)) return false;
+  if (!parse_platform(parts[1], o.tpl.platform)) return false;
+  if (parse_primitive(parts[2], o.tpl.primitive)) {
+    o.is_app = false;
+  } else if (parse_app(parts[2], o.app.app)) {
+    o.is_app = true;
+  } else {
+    return false;
+  }
+  o.app.tool = o.tpl.tool;
+  o.app.platform = o.tpl.platform;
+  if (parts.size() > 3 && !parts[3].empty()) o.tpl.bytes = std::atoll(parts[3].c_str());
+  if (parts.size() > 4 && !parts[4].empty()) {
+    o.tpl.procs = std::atoi(parts[4].c_str());
+    o.app.procs = o.tpl.procs;
+  }
+  return true;
+}
+
+[[nodiscard]] bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int run_validate(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "pdctrace: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto res = pdc::trace::validate_perfetto_json(buf.str());
+  if (!res.ok) {
+    std::fprintf(stderr, "pdctrace: %s: INVALID: %s\n", path.c_str(), res.error.c_str());
+    return 1;
+  }
+  std::printf("pdctrace: %s: ok (%zu events, %zu flow events)\n", path.c_str(), res.events,
+              res.flows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  o.tpl.bytes = 1;
+  o.tpl.procs = 2;
+  o.app.procs = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pdctrace: %s needs a value\n", arg.c_str());
+        usage(2);
+      }
+      return argv[++i];
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--tool") { const auto v = next(); ok = parse_tool(v, o.tpl.tool); o.app.tool = o.tpl.tool; }
+    else if (arg == "--platform") { const auto v = next(); ok = parse_platform(v, o.tpl.platform); o.app.platform = o.tpl.platform; }
+    else if (arg == "--primitive") { ok = parse_primitive(next(), o.tpl.primitive); o.is_app = false; }
+    else if (arg == "--app") { ok = parse_app(next(), o.app.app); o.is_app = true; }
+    else if (arg == "--bytes") o.tpl.bytes = std::atoll(next().c_str());
+    else if (arg == "--procs") { o.tpl.procs = std::atoi(next().c_str()); o.app.procs = o.tpl.procs; }
+    else if (arg == "--ints") o.tpl.global_sum_ints = std::atoll(next().c_str());
+    else if (arg == "--drop") o.drop = std::atof(next().c_str());
+    else if (arg == "--corrupt") o.corrupt = std::atof(next().c_str());
+    else if (arg == "--dup") o.duplicate = std::atof(next().c_str());
+    else if (arg == "--seed") o.seed = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--buffer") o.capture.capacity = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (arg == "--categories") ok = parse_categories(next(), o.capture.mask);
+    else if (arg == "--json") o.json_path = next();
+    else if (arg == "--csv") o.csv_path = next();
+    else if (arg == "--report") o.report = true;
+    else if (arg == "--no-report") o.report = false;
+    else if (arg == "--trace-cell") ok = parse_cell_spec(next(), o);
+    else if (arg == "--validate") o.validate_path = next();
+    else {
+      std::fprintf(stderr, "pdctrace: unknown option %s\n", arg.c_str());
+      usage(2);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "pdctrace: bad value for %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (!o.validate_path.empty()) return run_validate(o.validate_path);
+
+  if (o.drop > 0.0 || o.corrupt > 0.0 || o.duplicate > 0.0) {
+    const auto plan =
+        pdc::fault::FaultPlan::uniform(o.drop, o.corrupt, o.duplicate, 0.0,
+                                       pdc::sim::microseconds(500), o.seed);
+    o.tpl.faults = plan;
+    o.app.faults = plan;
+  }
+
+  if (!pdc::eval::trace_compiled_in()) {
+    std::fprintf(stderr,
+                 "pdctrace: warning: built with PDC_TRACE=OFF -- the cell runs "
+                 "but the trace will be empty (rebuild with -DPDC_TRACE=ON)\n");
+  }
+
+  std::vector<pdc::trace::Record> records;
+  pdc::trace::SinkStats stats;
+  // Invalid cell shapes (too many procs for the platform, bad sizes) throw
+  // from the cluster setup; a CLI reports them, it doesn't abort.
+  try {
+    if (o.is_app) {
+      const auto res = pdc::eval::app_cell_traced(o.app, {}, o.capture);
+      records = res.records;
+      stats = res.stats;
+      std::printf("cell: %s on %s, app %s, procs %d -> %.6f simulated s\n",
+                  pdc::mp::to_string(o.app.tool), pdc::host::to_string(o.app.platform),
+                  pdc::eval::to_string(o.app.app), o.app.procs, res.seconds);
+    } else {
+      const auto res = pdc::eval::tpl_cell_traced(o.tpl, o.capture);
+      records = res.records;
+      stats = res.stats;
+      if (!res.ms) {
+        std::printf("cell: %s on %s, %s: not available in this tool\n",
+                    pdc::mp::to_string(o.tpl.tool), pdc::host::to_string(o.tpl.platform),
+                    pdc::eval::to_string(o.tpl.primitive));
+        return 0;
+      }
+      std::printf("cell: %s on %s, %s, %lld bytes, procs %d -> %.6f simulated ms\n",
+                  pdc::mp::to_string(o.tpl.tool), pdc::host::to_string(o.tpl.platform),
+                  pdc::eval::to_string(o.tpl.primitive),
+                  static_cast<long long>(o.tpl.bytes), o.tpl.procs, *res.ms);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pdctrace: cannot run cell: %s\n", e.what());
+    return 2;
+  }
+  std::printf("trace: %llu records captured, %llu dropped (ring capacity %zu)\n",
+              static_cast<unsigned long long>(stats.emitted - stats.dropped),
+              static_cast<unsigned long long>(stats.dropped), o.capture.capacity);
+
+  if (!o.json_path.empty()) {
+    const std::string json = pdc::trace::export_perfetto_json(records);
+    if (!write_file(o.json_path, json)) {
+      std::fprintf(stderr, "pdctrace: cannot write %s\n", o.json_path.c_str());
+      return 2;
+    }
+    const auto check = pdc::trace::validate_perfetto_json(json);
+    std::printf("wrote %s (%zu events%s)\n", o.json_path.c_str(), check.events,
+                check.ok ? "" : ", VALIDATION FAILED");
+    if (!check.ok) {
+      std::fprintf(stderr, "pdctrace: internal error: %s\n", check.error.c_str());
+      return 1;
+    }
+  }
+  if (!o.csv_path.empty()) {
+    if (!write_file(o.csv_path, pdc::trace::export_csv(records))) {
+      std::fprintf(stderr, "pdctrace: cannot write %s\n", o.csv_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu rows)\n", o.csv_path.c_str(), records.size());
+  }
+  if (o.report && !records.empty()) {
+    std::fputs(pdc::trace::text_report(records).c_str(), stdout);
+  }
+  return 0;
+}
