@@ -33,6 +33,13 @@ std::atomic<std::uint64_t> g_pool_bytes{0};
 std::mutex g_fault_mu;
 SweepFaultStats g_fault_stats;
 
+// Fleet-wide mailbox matching telemetry, same lifecycle. All plain sums
+// (peak_depth_sum adds per-run peaks), hence thread-count-independent.
+std::atomic<std::uint64_t> g_mbox_pushes{0};
+std::atomic<std::uint64_t> g_mbox_matches{0};
+std::atomic<std::uint64_t> g_mbox_scanned{0};
+std::atomic<std::uint64_t> g_mbox_peak_sum{0};
+
 // Fleet-wide host-work telemetry, same lifecycle: per-cell wall split and
 // kernel arena activity. Order-independent sums.
 std::atomic<std::uint64_t> g_host_cells{0};
@@ -53,6 +60,10 @@ void reset_pool_aggregate() {
   g_pool_releases = 0;
   g_pool_discards = 0;
   g_pool_bytes = 0;
+  g_mbox_pushes = 0;
+  g_mbox_matches = 0;
+  g_mbox_scanned = 0;
+  g_mbox_peak_sum = 0;
   g_host_cells = 0;
   g_host_wall_ns = 0;
   g_host_app_ns = 0;
@@ -62,6 +73,16 @@ void reset_pool_aggregate() {
   g_host_arena_bytes = 0;
   const std::scoped_lock lock(g_fault_mu);
   g_fault_stats = {};
+}
+
+void fold_mailbox_delta(const mp::MailboxTelemetry& before) {
+  const auto& now = mp::mailbox_accumulator();
+  g_mbox_pushes.fetch_add(now.pushes - before.pushes, std::memory_order_relaxed);
+  g_mbox_matches.fetch_add(now.matches - before.matches, std::memory_order_relaxed);
+  g_mbox_scanned.fetch_add(now.items_scanned - before.items_scanned,
+                           std::memory_order_relaxed);
+  g_mbox_peak_sum.fetch_add(now.peak_depth_sum - before.peak_depth_sum,
+                            std::memory_order_relaxed);
 }
 
 void fold_pool_delta(const mp::BufferPool::Stats& before,
@@ -197,6 +218,11 @@ SweepFaultStats last_sweep_fault_stats() {
   return g_fault_stats;
 }
 
+SweepMailboxStats last_sweep_mailbox_stats() {
+  return {g_mbox_pushes.load(), g_mbox_matches.load(), g_mbox_scanned.load(),
+          g_mbox_peak_sum.load()};
+}
+
 SweepHostStats last_sweep_host_stats() {
   return {g_host_cells.load(),       g_host_wall_ns.load(),     g_host_app_ns.load(),
           g_host_kernel_calls.load(), g_host_arena_takes.load(), g_host_arena_grows.load(),
@@ -237,6 +263,7 @@ void parallel_for_index(std::size_t n, unsigned threads,
   const std::function<void()> worker = [&]() noexcept {
     const auto pool_before = mp::BufferPool::local().stats();
     const auto fault_before = mp::transport_accumulator();
+    const auto mailbox_before = mp::mailbox_accumulator();
     const auto work_before = kernels::host_work();
     const auto arena_before = kernels::Arena::local().stats();
     std::uint64_t cells = 0;
@@ -258,6 +285,7 @@ void parallel_for_index(std::size_t n, unsigned threads,
       ++cells;
     }
     fold_pool_delta(pool_before, fault_before);
+    fold_mailbox_delta(mailbox_before);
     const auto work_now = kernels::host_work();
     const auto arena_now = kernels::Arena::local().stats();
     g_host_cells.fetch_add(cells, std::memory_order_relaxed);

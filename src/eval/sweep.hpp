@@ -79,6 +79,24 @@ struct SweepFaultStats {
 };
 [[nodiscard]] SweepFaultStats last_sweep_fault_stats();
 
+/// Aggregated mailbox matching telemetry across every worker of the most
+/// recent parallel_for_index / sweep_* call (reset at the start of each
+/// run). `items_scanned / matches` near 1 is the O(active) matching
+/// signal; `peak_depth_sum` adds up each cell's peak unmatched-queue depth
+/// (a sum, not a max, so totals stay order- and thread-count-independent).
+struct SweepMailboxStats {
+  std::uint64_t pushes{0};
+  std::uint64_t matches{0};
+  std::uint64_t items_scanned{0};
+  std::uint64_t peak_depth_sum{0};
+
+  [[nodiscard]] double scans_per_match() const noexcept {
+    return matches > 0 ? static_cast<double>(items_scanned) / static_cast<double>(matches)
+                       : 0.0;
+  }
+};
+[[nodiscard]] SweepMailboxStats last_sweep_mailbox_stats();
+
 /// Host-work telemetry for the most recent parallel_for_index / sweep_*
 /// call: where the *host's* wall-clock went, split into real application
 /// compute (the kernels layer's ScopedHostWork probes: DCT, FFT, sort,

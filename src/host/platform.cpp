@@ -3,6 +3,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "net/dragonfly.hpp"
+#include "net/fat_tree.hpp"
 #include "net/shared_bus.hpp"
 #include "net/switched.hpp"
 
@@ -43,13 +45,29 @@ CpuModel rs6000_370() {
           .os_crossing = sim::microseconds(120)};
 }
 
-const std::array<PlatformSpec, 6> kSpecs = {{
+// The scale-study node: a contemporary commodity server. `copy_mb_s` is
+// again the network-path copy rate (copy + checksum), far below streaming
+// memcpy, matching kernel-bypass-free stacks.
+CpuModel cluster_node() {
+  return {.name = "Xeon-2.4GHz",
+          .clock_mhz = 2400,
+          .mflops = 20000.0,
+          .copy_mb_s = 6000.0,
+          .os_crossing = sim::microseconds(2)};
+}
+
+constexpr std::int32_t kScaleMaxNodes = 4096;
+
+const std::array<PlatformSpec, 9> kSpecs = {{
     {PlatformId::SunEthernet, "SUN/Ethernet", 8, sun_elc()},
     {PlatformId::SunAtmLan, "SUN/ATM-LAN", 4, sun_ipx()},
     {PlatformId::SunAtmWan, "SUN/ATM-WAN(NYNET)", 4, sun_ipx()},
     {PlatformId::AlphaFddi, "ALPHA/FDDI", 8, alpha_axp()},
     {PlatformId::Sp1Switch, "IBM-SP1(Switch)", 16, rs6000_370()},
     {PlatformId::Sp1Ethernet, "IBM-SP1(Ethernet)", 16, rs6000_370()},
+    {PlatformId::ClusterFlat, "CLUSTER/Flat", kScaleMaxNodes, cluster_node()},
+    {PlatformId::ClusterFatTree, "CLUSTER/FatTree", kScaleMaxNodes, cluster_node()},
+    {PlatformId::ClusterDragonfly, "CLUSTER/Dragonfly", kScaleMaxNodes, cluster_node()},
 }};
 
 std::unique_ptr<net::Network> make_network(sim::Simulation& sim, PlatformId id,
@@ -106,6 +124,31 @@ std::unique_ptr<net::Network> make_network(sim::Simulation& sim, PlatformId id,
       p.frame_overhead_bytes = 16;
       return std::make_unique<net::SwitchedNetwork>(sim, "allnode", nodes, p);
     }
+    case PlatformId::ClusterFlat: {
+      // Idealised flat crossbar at modern rates: the baseline the
+      // hierarchical fabrics are compared against (no shared uplinks, so
+      // only endpoint ports ever contend).
+      net::SwitchedParams p;
+      p.line_rate_bps = 100e9;
+      p.switch_latency = sim::microseconds(1);
+      p.propagation = sim::microseconds(1);
+      p.access_overhead = sim::microseconds(2);
+      p.frame_payload = 4096;
+      p.frame_overhead_bytes = 48;
+      return std::make_unique<net::SwitchedNetwork>(sim, "flat", nodes, p);
+    }
+    case PlatformId::ClusterFatTree: {
+      // Defaults: arity 16, 3 levels (capacity 4096), 8 uplink planes at
+      // line rate -> 2:1 oversubscription per tier.
+      net::FatTreeParams p;
+      return std::make_unique<net::FatTreeNetwork>(sim, "fattree", nodes, p);
+    }
+    case PlatformId::ClusterDragonfly: {
+      // Defaults: 64-host groups, 2 global cables per ordered group pair
+      // at half line rate.
+      net::DragonflyParams p;
+      return std::make_unique<net::DragonflyNetwork>(sim, "dragonfly", nodes, p);
+    }
   }
   throw std::logic_error("make_network: unknown platform");
 }
@@ -129,6 +172,15 @@ const std::vector<PlatformId>& all_platforms() {
   return kAll;
 }
 
+const std::vector<PlatformId>& scale_platforms() {
+  static const std::vector<PlatformId> kScale = {
+      PlatformId::ClusterFlat,
+      PlatformId::ClusterFatTree,
+      PlatformId::ClusterDragonfly,
+  };
+  return kScale;
+}
+
 Cluster::Cluster(sim::Simulation& sim, PlatformId platform, std::int32_t nodes)
     : sim_(sim), platform_(platform) {
   const auto& spec = platform_spec(platform);
@@ -137,10 +189,10 @@ Cluster::Cluster(sim::Simulation& sim, PlatformId platform, std::int32_t nodes)
     throw std::invalid_argument("Cluster: platform " + spec.name + " has at most " +
                                 std::to_string(spec.max_nodes) + " nodes");
   }
-  nodes_.reserve(static_cast<std::size_t>(nodes));
-  for (std::int32_t i = 0; i < nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(sim, i, spec.cpu));
-  }
+  // Node objects (and their stack resources) are created on first touch by
+  // node(); construction just sizes the slot table so large-P clusters stay
+  // O(active ranks) in memory.
+  nodes_.resize(static_cast<std::size_t>(nodes));
   network_ = make_network(sim, platform, nodes);
 }
 

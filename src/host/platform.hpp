@@ -29,6 +29,13 @@ enum class PlatformId {
   AlphaFddi,
   Sp1Switch,
   Sp1Ethernet,
+  // Scale-study platforms (ROADMAP item 1): a modern commodity node on
+  // three fabric families, sized for up to 4096 ranks. These extend the
+  // catalogue without touching the paper's six -- all_platforms() still
+  // returns exactly the 1995 field; scale_platforms() returns these.
+  ClusterFlat,       ///< single flat 100G crossbar (idealised baseline)
+  ClusterFatTree,    ///< 3-level fat-tree, 2:1 oversubscribed uplinks
+  ClusterDragonfly,  ///< 64-host groups, per-pair 50G global links
 };
 
 [[nodiscard]] const char* to_string(PlatformId id);
@@ -45,6 +52,10 @@ struct PlatformSpec {
 /// All platforms, in the paper's order.
 [[nodiscard]] const std::vector<PlatformId>& all_platforms();
 
+/// The scale-study platforms (flat / fat-tree / dragonfly at up to 4096
+/// ranks), kept out of all_platforms() so the paper's tables stay pinned.
+[[nodiscard]] const std::vector<PlatformId>& scale_platforms();
+
 /// A cluster: N identical nodes plus the platform's network, living on one
 /// simulation. This is the substrate every tool runtime is built on.
 class Cluster {
@@ -57,7 +68,19 @@ class Cluster {
   [[nodiscard]] std::int32_t size() const noexcept {
     return static_cast<std::int32_t>(nodes_.size());
   }
-  [[nodiscard]] Node& node(net::NodeId i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  /// The node, created on first touch (a 4096-node cluster running a
+  /// 2-rank cell materialises 2 Node objects and their stack resources).
+  [[nodiscard]] Node& node(net::NodeId i) {
+    auto& slot = nodes_.at(static_cast<std::size_t>(i));
+    if (!slot) slot = std::make_unique<Node>(sim_, i, spec().cpu);
+    return *slot;
+  }
+  /// Nodes actually created (O(active) state pins in tests).
+  [[nodiscard]] std::size_t active_nodes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : nodes_) n += p != nullptr;
+    return n;
+  }
   [[nodiscard]] net::Network& network() noexcept { return *network_; }
 
   /// Detach the platform network so a caller can wrap it in a decorator

@@ -16,13 +16,20 @@ RunOutcome drive(sim::Simulation& simulation, Runtime& runtime, int nprocs, Tool
                      std::string(to_string(tool)) + ".rank" + std::to_string(r));
   }
   const sim::TimePoint end = simulation.run();
-  return RunOutcome{
+  RunOutcome out{
       .elapsed = end - sim::TimePoint::origin(),
       .events = simulation.events_processed(),
       .messages = runtime.messages_sent(),
       .payload_bytes = runtime.payload_bytes_sent(),
       .transport = runtime.transport_total(),
   };
+  out.mailbox = runtime.mailbox_total();
+  auto& boxes = mailbox_accumulator();
+  boxes.pushes += out.mailbox.pushes;
+  boxes.matches += out.mailbox.matches;
+  boxes.items_scanned += out.mailbox.items_scanned;
+  boxes.peak_depth_sum += out.mailbox.max_depth;
+  return out;
 }
 
 }  // namespace
@@ -62,6 +69,11 @@ RunOutcome run_spmd_faulty(host::PlatformId platform, int nprocs, ToolKind tool,
 
 FaultTelemetry& transport_accumulator() noexcept {
   thread_local FaultTelemetry telemetry;
+  return telemetry;
+}
+
+MailboxTelemetry& mailbox_accumulator() noexcept {
+  thread_local MailboxTelemetry telemetry;
   return telemetry;
 }
 

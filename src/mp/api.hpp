@@ -27,6 +27,7 @@ struct RunOutcome {
   std::uint64_t payload_bytes{0};   ///< application payload carried
   TransportStats transport{};       ///< reliability work, summed over ranks
   fault::InjectionStats injected{}; ///< faults the wire actually injected
+  sim::MailboxStats mailbox{};      ///< matching work, summed over rank mailboxes
 };
 
 /// Build a cluster of `nprocs` nodes of `platform`, run `program` on every
@@ -57,5 +58,18 @@ struct FaultTelemetry {
   fault::InjectionStats injected{};
 };
 [[nodiscard]] FaultTelemetry& transport_accumulator() noexcept;
+
+/// Thread-local accumulator of per-run mailbox matching telemetry, summed
+/// over every run_spmd* call on this thread (fault-free ones included).
+/// All four fields are plain sums -- `peak_depth_sum` adds each run's peak
+/// unmatched depth, rather than taking a max, so sweep deltas stay
+/// order-independent and thread-count-independent.
+struct MailboxTelemetry {
+  std::uint64_t pushes{0};
+  std::uint64_t matches{0};
+  std::uint64_t items_scanned{0};
+  std::uint64_t peak_depth_sum{0};  ///< sum over runs of per-run peak depth
+};
+[[nodiscard]] MailboxTelemetry& mailbox_accumulator() noexcept;
 
 }  // namespace pdc::mp

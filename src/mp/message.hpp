@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -105,6 +106,15 @@ struct TagSourceMatch {
 
   [[nodiscard]] bool operator()(const Message& m) const noexcept {
     return m.matches(src, tag);
+  }
+
+  /// Bucket hint for sim::Mailbox source-bucketed matching: a concrete
+  /// source restricts matches to that source's bucket; a wildcard source
+  /// must scan everything. The sentinel equals sim::kAnyBucket (pinned by a
+  /// static_assert in runtime.hpp; spelled out here to keep this header
+  /// free of the simulation kernel).
+  [[nodiscard]] constexpr int bucket_key() const noexcept {
+    return src == kAnySource ? std::numeric_limits<int>::min() : src;
   }
 };
 

@@ -54,27 +54,25 @@ Runtime::Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile)
       kind_(kind),
       profile_(profile),
       reliable_wire_(cluster.network().reliable()) {
-  auto& sim = cluster_.simulation();
-  const int n = cluster_.size();
-  for (int r = 0; r < n; ++r) {
-    mailboxes_.push_back(std::make_unique<sim::Mailbox<Message>>(sim));
-    daemons_.push_back(
-        std::make_unique<sim::SerialResource>(sim, "pvmd#" + std::to_string(r)));
-    rx_engines_.push_back(
-        std::make_unique<sim::SerialResource>(sim, "rxengine#" + std::to_string(r)));
-    tx_engines_.push_back(
-        std::make_unique<sim::SerialResource>(sim, "txengine#" + std::to_string(r)));
-  }
-  links_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-  transport_.resize(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    comms_.push_back(std::make_unique<Communicator>(*this, r));
-  }
+  // Per-rank state is all create-on-first-touch; construction only sizes
+  // the slot tables (one allocation each) so a 4096-rank cluster costs a
+  // few vectors of null pointers until traffic actually flows.
+  const auto n = static_cast<std::size_t>(cluster_.size());
+  mailboxes_.resize(n);
+  daemons_.resize(n);
+  rx_engines_.resize(n);
+  tx_engines_.resize(n);
+  comms_.resize(n);
+  transport_.resize(n);
 }
 
 Runtime::~Runtime() = default;
 
-Communicator& Runtime::comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
+Communicator& Runtime::comm(int rank) {
+  auto& slot = comms_.at(static_cast<std::size_t>(rank));
+  if (!slot) slot = std::make_unique<Communicator>(*this, rank);
+  return *slot;
+}
 
 TransportStats Runtime::transport_total() const noexcept {
   TransportStats total;

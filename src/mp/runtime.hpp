@@ -16,10 +16,14 @@
 // scheduled events on the same queue, so runs stay bit-reproducible.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "host/platform.hpp"
@@ -33,6 +37,12 @@
 namespace pdc::mp {
 
 class Communicator;
+
+// TagSourceMatch spells the "no bucket" sentinel out (to stay free of the
+// simulation kernel headers); pin it to the mailbox's definition here,
+// where both headers meet.
+static_assert(TagSourceMatch{kAnySource, kAnyTag}.bucket_key() == sim::kAnyBucket);
+static_assert(TagSourceMatch{7, kAnyTag}.bucket_key() == 7);
 
 /// Reliability work performed by one rank's transport (all zero on a
 /// reliable wire). `drops_seen` counts frames this rank transmitted that
@@ -81,17 +91,44 @@ class Runtime {
 
   [[nodiscard]] Communicator& comm(int rank);
 
+  // Per-rank fabric state is created on first touch: a P=4096 cell whose
+  // traffic involves a handful of ranks materialises a handful of
+  // mailboxes, and p4/Express runs never pay for pvmd daemons at all.
+  // Lazily-created resources start idle, exactly as eager ones would be at
+  // first use, so results are bit-identical to the eager layout.
   [[nodiscard]] sim::Mailbox<Message>& mailbox(int rank) {
-    return *mailboxes_.at(static_cast<std::size_t>(rank));
+    auto& slot = mailboxes_.at(static_cast<std::size_t>(rank));
+    if (!slot) {
+      slot = std::make_unique<sim::Mailbox<Message>>(
+          sim(), +[](const Message& m) { return m.src; });
+    }
+    return *slot;
   }
   [[nodiscard]] sim::SerialResource& daemon(int rank) {
-    return *daemons_.at(static_cast<std::size_t>(rank));
+    return lazy_resource(daemons_, rank, "pvmd#");
   }
   [[nodiscard]] sim::SerialResource& rx_engine(int rank) {
-    return *rx_engines_.at(static_cast<std::size_t>(rank));
+    return lazy_resource(rx_engines_, rank, "rxengine#");
   }
   [[nodiscard]] sim::SerialResource& tx_engine(int rank) {
-    return *tx_engines_.at(static_cast<std::size_t>(rank));
+    return lazy_resource(tx_engines_, rank, "txengine#");
+  }
+
+  /// Mailboxes actually created (O(active) state pins in tests).
+  [[nodiscard]] std::size_t active_mailboxes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& m : mailboxes_) n += m != nullptr;
+    return n;
+  }
+
+  /// Matching telemetry summed over every created mailbox (counters sum,
+  /// peak depth is the max across ranks).
+  [[nodiscard]] sim::MailboxStats mailbox_total() const noexcept {
+    sim::MailboxStats total;
+    for (const auto& m : mailboxes_) {
+      if (m) total += m->stats();
+    }
+    return total;
   }
 
   /// Push `bytes` through sender stack -> network -> receiver stack,
@@ -141,9 +178,25 @@ class Runtime {
     std::map<std::uint64_t, std::shared_ptr<Flight>> rx_held;
   };
 
+  /// Directed-link transport state, created on first use. Only the
+  /// unreliable path touches links (the reliable fast path returns before
+  /// any sequencing), and even a faulted run exercises O(active links), not
+  /// O(P^2): the seed's n*n vector cost ~1 GB at P=4096 before a single
+  /// message moved.
   [[nodiscard]] LinkState& link(int src, int dst) {
-    return links_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size()) +
-                  static_cast<std::size_t>(dst)];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dst);
+    return links_[key];
+  }
+
+  [[nodiscard]] sim::SerialResource& lazy_resource(
+      std::vector<std::unique_ptr<sim::SerialResource>>& slots, int rank, const char* prefix) {
+    auto& slot = slots.at(static_cast<std::size_t>(rank));
+    if (!slot) {
+      slot = std::make_unique<sim::SerialResource>(sim(), prefix + std::to_string(rank));
+    }
+    return *slot;
   }
 
   void reliable_transfer(std::shared_ptr<Flight> flight, sim::TimePoint at);
@@ -163,8 +216,8 @@ class Runtime {
   std::vector<std::unique_ptr<sim::SerialResource>> rx_engines_;
   std::vector<std::unique_ptr<sim::SerialResource>> tx_engines_;
   std::vector<std::unique_ptr<Communicator>> comms_;
-  std::vector<LinkState> links_;        // n*n, row-major by (src, dst)
-  std::vector<TransportStats> transport_;  // per rank
+  std::unordered_map<std::uint64_t, LinkState> links_;  // keyed (src << 32) | dst, lazy
+  std::vector<TransportStats> transport_;               // per rank
   std::uint64_t messages_sent_{0};
   std::uint64_t payload_bytes_{0};
   std::uint64_t trace_msg_seq_{0};

@@ -1,0 +1,73 @@
+// pdceval -- dragonfly network (groups of hosts, all-to-all global links).
+//
+// Hosts are partitioned into groups of `group_size`; a group's switches are
+// modelled as one logical low-latency crossbar (intra-group transfers cross
+// a single switch stage). Every ordered group pair (gs, gd) is connected by
+// `global_links_per_pair` long-haul cables at `global_rate_bps`; minimal
+// routing sends an inter-group packet source switch -> global link -> dst
+// switch. The global link for a packet is chosen deterministically as
+// (dst mod global_links_per_pair), so the same (src, dst) pair always
+// follows the same path and hot group pairs queue on their shared cables --
+// the dragonfly's signature contention mode.
+//
+// Timing follows the cut-through discipline of SwitchedNetwork: tx port
+// serialisation, per-stage head advance, rx port streaming at the pace of
+// the slowest stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/lazy_links.hpp"
+#include "net/network.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace pdc::net {
+
+struct DragonflyParams {
+  std::int32_t group_size{64};            ///< hosts per group
+  std::int32_t global_links_per_pair{2};  ///< cables per ordered group pair
+  double line_rate_bps{100e9};            ///< host access links
+  double global_rate_bps{50e9};           ///< each global cable
+  sim::Duration switch_latency{sim::microseconds(1)};
+  sim::Duration global_latency{sim::microseconds(3)};  ///< long-haul optical hop
+  sim::Duration propagation{sim::microseconds(1)};
+  sim::Duration access_overhead{sim::microseconds(2)};
+  std::int64_t frame_payload{4096};
+  std::int64_t frame_overhead_bytes{48};
+};
+
+class DragonflyNetwork final : public Network {
+ public:
+  DragonflyNetwork(sim::Simulation& sim, std::string name, std::int32_t nodes,
+                   DragonflyParams params);
+
+  sim::TimePoint transfer(NodeId src, NodeId dst, std::int64_t bytes) override;
+  [[nodiscard]] double line_rate_bps() const noexcept override { return params_.line_rate_bps; }
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
+
+  [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::int32_t group_of(NodeId id) const noexcept {
+    return id / params_.group_size;
+  }
+
+  /// Port + global-link resources created so far (O(active) state pins).
+  [[nodiscard]] std::size_t active_resources() const noexcept {
+    return tx_.active() + rx_.active() + globals_.active();
+  }
+
+ private:
+  [[nodiscard]] sim::Duration serialization(std::int64_t bytes, double rate_bps) const noexcept;
+
+  sim::Simulation& sim_;  // for trace timestamps only; timing flows via resources
+  std::string name_;
+  DragonflyParams params_;
+  std::int32_t nodes_;
+  LazyPortArray tx_;
+  LazyPortArray rx_;
+  LazyResourceMap globals_;
+};
+
+}  // namespace pdc::net

@@ -1,0 +1,86 @@
+// pdceval -- multi-level fat-tree network.
+//
+// `levels` tiers of switches above the hosts: a level-1 (edge) switch
+// serves `arity` hosts, a level-l switch aggregates `arity` level-(l-1)
+// switches, so capacity is arity^levels. Each switch owns `uplinks`
+// physical cables toward its parent tier; with uplinks < arity the tier is
+// oversubscribed by arity:uplinks and contention emerges on the shared
+// uplinks rather than on a flat crossbar.
+//
+// Routing is deterministic D-mod-k: a packet for host d climbs from the
+// source edge switch on uplink plane (d mod uplinks) until it reaches the
+// lowest switch whose subtree contains both endpoints, then descends along
+// the same plane into d's edge switch. Same (src, dst) pair, same path,
+// every time -- runs stay bit-reproducible, and the classic fat-tree
+// hot-spot patterns (many flows hashing onto one plane) appear naturally.
+//
+// Timing follows the cut-through discipline of SwitchedNetwork: the sender
+// serialises on its tx port, the head of the stream crosses each switch
+// after `switch_latency`, every traversed link is occupied for its own
+// serialisation window starting at the head's arrival, and the receiver's
+// rx port streams for as long as the slowest upstream stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/lazy_links.hpp"
+#include "net/network.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace pdc::net {
+
+struct FatTreeParams {
+  std::int32_t arity{16};    ///< hosts (or child switches) per switch
+  std::int32_t levels{3};    ///< switch tiers; capacity = arity^levels
+  std::int32_t uplinks{8};   ///< uplink planes per switch (oversubscription arity:uplinks)
+  double line_rate_bps{100e9};    ///< host access links
+  double uplink_rate_bps{100e9};  ///< each inter-switch cable
+  sim::Duration switch_latency{sim::microseconds(1)};
+  sim::Duration propagation{sim::microseconds(1)};
+  sim::Duration access_overhead{sim::microseconds(2)};
+  std::int64_t frame_payload{4096};
+  std::int64_t frame_overhead_bytes{48};
+};
+
+class FatTreeNetwork final : public Network {
+ public:
+  FatTreeNetwork(sim::Simulation& sim, std::string name, std::int32_t nodes,
+                 FatTreeParams params);
+
+  sim::TimePoint transfer(NodeId src, NodeId dst, std::int64_t bytes) override;
+  [[nodiscard]] double line_rate_bps() const noexcept override { return params_.line_rate_bps; }
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
+
+  [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
+
+  /// Lowest tier whose subtree contains both hosts (0: same edge switch).
+  /// Exposed for routing tests; src/dst must be valid node ids.
+  [[nodiscard]] std::int32_t meet_level(NodeId src, NodeId dst) const noexcept;
+
+  /// Inter-switch links a (src, dst) stream crosses: 2 * meet_level.
+  [[nodiscard]] std::int32_t path_links(NodeId src, NodeId dst) const noexcept;
+
+  /// Port + link resources created so far (O(active) state pins).
+  [[nodiscard]] std::size_t active_resources() const noexcept {
+    return tx_.active() + rx_.active() + links_.active();
+  }
+
+ private:
+  [[nodiscard]] sim::Duration serialization(std::int64_t bytes, double rate_bps) const noexcept;
+  void check_ids(NodeId src, NodeId dst) const;
+
+  sim::Simulation& sim_;  // for trace timestamps only; timing flows via resources
+  std::string name_;
+  FatTreeParams params_;
+  std::int32_t nodes_;
+  std::vector<std::int64_t> span_;  ///< span_[l] = arity^l (hosts under a level-l switch)
+  LazyPortArray tx_;
+  LazyPortArray rx_;
+  LazyResourceMap links_;
+};
+
+}  // namespace pdc::net

@@ -10,14 +10,13 @@ namespace pdc::net {
 
 SwitchedNetwork::SwitchedNetwork(sim::Simulation& sim, std::string name, std::int32_t nodes,
                                  SwitchedParams params)
-    : sim_(sim), name_(std::move(name)), params_(params) {
+    : sim_(sim),
+      name_(std::move(name)),
+      params_(params),
+      nodes_(nodes),
+      tx_(sim, name_ + ".tx", static_cast<std::size_t>(std::max(nodes, 1))),
+      rx_(sim, name_ + ".rx", static_cast<std::size_t>(std::max(nodes, 1))) {
   if (nodes <= 0) throw std::invalid_argument("SwitchedNetwork: need at least one node");
-  tx_.reserve(static_cast<std::size_t>(nodes));
-  rx_.reserve(static_cast<std::size_t>(nodes));
-  for (std::int32_t i = 0; i < nodes; ++i) {
-    tx_.push_back(std::make_unique<sim::SerialResource>(sim, name_ + ".tx" + std::to_string(i)));
-    rx_.push_back(std::make_unique<sim::SerialResource>(sim, name_ + ".rx" + std::to_string(i)));
-  }
   if (params_.trunk_split) {
     trunk_ = std::make_unique<sim::SerialResource>(sim, name_ + ".trunk");
   }
@@ -55,8 +54,8 @@ sim::TimePoint SwitchedNetwork::transfer(NodeId src, NodeId dst, std::int64_t by
   }
   const sim::Duration ser = serialization(bytes, params_.line_rate_bps);
   // Sender occupies its tx port for access overhead + serialization.
-  const sim::TimePoint tx_done = tx_[static_cast<std::size_t>(src)]->reserve(
-      params_.access_overhead + ser);
+  const sim::TimePoint tx_done =
+      tx_.at(static_cast<std::size_t>(src)).reserve(params_.access_overhead + ser);
   PDC_TRACE_BLOCK {
     trace::emit({.t_ns = sim_.now().ns,
                  .bytes = wire_bytes(bytes),
@@ -80,7 +79,7 @@ sim::TimePoint SwitchedNetwork::transfer(NodeId src, NodeId dst, std::int64_t by
   // byte emerges from the switch and lasts as long as the slowest upstream
   // stage keeps streaming.
   const sim::TimePoint rx_done =
-      rx_[static_cast<std::size_t>(dst)]->reserve_from(head, stream_ser);
+      rx_.at(static_cast<std::size_t>(dst)).reserve_from(head, stream_ser);
   return rx_done + params_.propagation;
 }
 

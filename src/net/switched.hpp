@@ -16,8 +16,8 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <vector>
 
+#include "net/lazy_links.hpp"
 #include "net/network.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulation.hpp"
@@ -54,8 +54,13 @@ class SwitchedNetwork final : public Network {
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
 
-  [[nodiscard]] std::int32_t node_count() const noexcept {
-    return static_cast<std::int32_t>(tx_.size());
+  /// Node count is stored, not derived from a port container: ports are
+  /// created on first use (O(active) state at large P).
+  [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
+
+  /// Port resources created so far (O(active) state pins).
+  [[nodiscard]] std::size_t active_resources() const noexcept {
+    return tx_.active() + rx_.active();
   }
 
  private:
@@ -65,8 +70,9 @@ class SwitchedNetwork final : public Network {
   sim::Simulation& sim_;  // for trace timestamps only; timing flows via resources
   std::string name_;
   SwitchedParams params_;
-  std::vector<std::unique_ptr<sim::SerialResource>> tx_;
-  std::vector<std::unique_ptr<sim::SerialResource>> rx_;
+  std::int32_t nodes_;
+  LazyPortArray tx_;
+  LazyPortArray rx_;
   std::unique_ptr<sim::SerialResource> trunk_;  // only with trunk_split
 };
 

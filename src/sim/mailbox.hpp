@@ -5,14 +5,27 @@
 // items queue in arrival order; waiters are served in arrival order. This
 // mirrors tag/source matching in real message-passing systems (p4 type
 // matching, PVM tag matching, Express types).
+//
+// Under many-to-one traffic at large P the unmatched queue can hold O(P)
+// items, and a naive linear scan per recv makes matching O(P^2). A mailbox
+// constructed with a bucket-key extractor keeps a per-key index over the
+// queue (for messages: the source rank); matchers that declare a bucket
+// hint (`bucket_key()`, see MatchPred) then scan only their own bucket.
+// Arrival order is preserved exactly -- the bucket index stores queue
+// sequence numbers, and the oldest matching item wins in both paths -- so
+// bucketed and unbucketed matching produce identical results, bucketing
+// only changes how many items a scan has to look at.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,11 +33,41 @@
 
 namespace pdc::sim {
 
+/// Bucket hint meaning "no bucket": the matcher may accept items from any
+/// bucket, so matching must scan the whole queue.
+inline constexpr int kAnyBucket = std::numeric_limits<int>::min();
+
+/// Matching telemetry for one mailbox (or summed over a runtime's
+/// mailboxes). `items_scanned / matches` is the cost of a match: ~1 when
+/// bucketed lookups hit, O(queue depth) when linear scans dominate.
+struct MailboxStats {
+  std::uint64_t pushes{0};         ///< items delivered into the mailbox
+  std::uint64_t matches{0};        ///< items taken out of the unmatched queue
+  std::uint64_t items_scanned{0};  ///< queue entries examined across those takes
+  std::uint64_t max_depth{0};      ///< peak unmatched-queue depth
+
+  /// Sums the counters; peak depth merges as a max (it is a high-water
+  /// mark, not a flow). Both operations are order-independent, so summed
+  /// stats are identical for any sweep thread count.
+  MailboxStats& operator+=(const MailboxStats& o) noexcept {
+    pushes += o.pushes;
+    matches += o.matches;
+    items_scanned += o.items_scanned;
+    max_depth = max_depth > o.max_depth ? max_depth : o.max_depth;
+    return *this;
+  }
+  friend bool operator==(const MailboxStats&, const MailboxStats&) = default;
+};
+
 /// Non-allocating match predicate: a function pointer plus a small inline
 /// context, copied by value. Constructible from any trivially-copyable
 /// callable of at most kCtxBytes (a captureless lambda, a `[src, tag]`
 /// capture, or a named POD like `mp::TagSourceMatch`). Replaces
 /// `std::function<bool(const T&)>`, which heap-allocated per recv.
+///
+/// A callable exposing `int bucket_key() const` additionally carries a
+/// bucket hint: the value every item it can match would map to under the
+/// owning mailbox's bucket-key extractor (or kAnyBucket to opt out).
 template <typename T>
 class MatchPred {
  public:
@@ -47,15 +90,22 @@ class MatchPred {
       std::memcpy(&fn, ctx, sizeof(Fn));
       return static_cast<bool>(fn(v));
     };
+    if constexpr (requires(const Fn& fr) {
+                    { fr.bucket_key() } -> std::convertible_to<int>;
+                  }) {
+      bucket_ = f.bucket_key();
+    }
   }
 
   /// An empty predicate matches everything.
   [[nodiscard]] bool operator()(const T& v) const { return fn_ == nullptr || fn_(ctx_, v); }
   [[nodiscard]] explicit operator bool() const noexcept { return fn_ != nullptr; }
+  [[nodiscard]] int bucket() const noexcept { return bucket_; }
 
  private:
   using Fn = bool (*)(const void*, const T&);
   Fn fn_{nullptr};
+  int bucket_{kAnyBucket};
   alignas(alignof(std::max_align_t)) unsigned char ctx_[kCtxBytes]{};
 };
 
@@ -63,14 +113,18 @@ template <typename T>
 class Mailbox {
  public:
   using Matcher = MatchPred<T>;
+  /// Maps a queued item to its bucket (for messages: the source rank).
+  using BucketKeyFn = int (*)(const T&);
 
-  explicit Mailbox(Simulation& sim) : sim_(sim) {}
+  explicit Mailbox(Simulation& sim, BucketKeyFn bucket_key = nullptr)
+      : sim_(sim), bucket_key_(bucket_key) {}
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
   /// Deliver an item. If a waiter's matcher accepts it, that waiter is
   /// resumed (via the scheduler) with the item; otherwise the item queues.
   void push(T item) {
+    ++stats_.pushes;
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
       if (it->matcher(item)) {
         std::optional<T>* slot = it->slot;
@@ -81,7 +135,11 @@ class Mailbox {
         return;
       }
     }
-    queue_.push_back(std::move(item));
+    const std::uint64_t seq = next_seq_++;
+    if (bucket_key_) buckets_[bucket_key_(item)].push_back(seq);
+    entries_.push_back(Entry{std::move(item), true});
+    ++live_;
+    if (live_ > stats_.max_depth) stats_.max_depth = live_;
   }
 
   /// Awaitable receive. With no matcher, receives the oldest item.
@@ -109,9 +167,19 @@ class Mailbox {
 
   /// Non-blocking probe: does a matching item sit in the queue?
   [[nodiscard]] bool poll(const Matcher& matcher = {}) const {
-    if (!matcher) return !queue_.empty();
-    for (const auto& item : queue_) {
-      if (matcher(item)) return true;
+    if (live_ == 0) return false;
+    if (!matcher) return true;
+    if (bucket_key_ && matcher.bucket() != kAnyBucket) {
+      const auto it = buckets_.find(matcher.bucket());
+      if (it == buckets_.end()) return false;
+      for (const std::uint64_t seq : it->second) {
+        const Entry* e = entry_for(seq);
+        if (e != nullptr && e->alive && matcher(e->item)) return true;
+      }
+      return false;
+    }
+    for (const auto& e : entries_) {
+      if (e.alive && matcher(e.item)) return true;
     }
     return false;
   }
@@ -121,31 +189,95 @@ class Mailbox {
     return take_matching(matcher);
   }
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+  [[nodiscard]] const MailboxStats& stats() const noexcept { return stats_; }
 
  private:
+  /// A queued item plus its tombstone flag. Taken items are marked dead in
+  /// place (so bucket indices stay valid) and reclaimed when they reach the
+  /// deque front; `front_seq_ + entries_.size() == next_seq_` always holds,
+  /// making seq -> index a subtraction.
+  struct Entry {
+    T item;
+    bool alive;
+  };
+
   struct Waiter {
     Matcher matcher;
     std::optional<T>* slot;
     std::coroutine_handle<> handle;
   };
 
+  [[nodiscard]] const Entry* entry_for(std::uint64_t seq) const noexcept {
+    if (seq < front_seq_) return nullptr;  // already reclaimed
+    return &entries_[static_cast<std::size_t>(seq - front_seq_)];
+  }
+
+  void reclaim_front() {
+    while (!entries_.empty() && !entries_.front().alive) {
+      entries_.pop_front();
+      ++front_seq_;
+    }
+  }
+
+  std::optional<T> take(Entry& e) {
+    std::optional<T> out(std::move(e.item));
+    e.alive = false;
+    --live_;
+    ++stats_.matches;
+    reclaim_front();
+    return out;
+  }
+
   std::optional<T> take_matching(const Matcher& matcher) {
-    if (queue_.empty()) return std::nullopt;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (matcher(*it)) {
-        std::optional<T> out(std::move(*it));
-        queue_.erase(it);
-        return out;
+    if (live_ == 0) {
+      // Everything queued was taken; drop any stale bucket entries so an
+      // idle mailbox holds no per-peer state.
+      if (!buckets_.empty()) buckets_.clear();
+      return std::nullopt;
+    }
+    if (bucket_key_ && matcher.bucket() != kAnyBucket) {
+      const auto bit = buckets_.find(matcher.bucket());
+      if (bit == buckets_.end()) return std::nullopt;
+      auto& bq = bit->second;
+      for (std::size_t i = 0; i < bq.size();) {
+        const Entry* e = entry_for(bq[i]);
+        if (e == nullptr || !e->alive) {
+          // Stale: taken via an any-bucket scan or reclaimed; drop lazily.
+          bq.erase(bq.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        ++stats_.items_scanned;
+        if (matcher(e->item)) {
+          auto out = take(entries_[static_cast<std::size_t>(bq[i] - front_seq_)]);
+          bq.erase(bq.begin() + static_cast<std::ptrdiff_t>(i));
+          if (bq.empty()) buckets_.erase(bit);
+          return out;
+        }
+        ++i;
       }
+      return std::nullopt;
+    }
+    for (auto& e : entries_) {
+      if (!e.alive) continue;
+      ++stats_.items_scanned;
+      if (matcher(e.item)) return take(e);
+      // The matching bucket (if any) keeps a stale seq; the next bucketed
+      // scan of that bucket drops it.
     }
     return std::nullopt;
   }
 
   Simulation& sim_;
-  std::deque<T> queue_;
+  BucketKeyFn bucket_key_{nullptr};
+  std::deque<Entry> entries_;
+  std::uint64_t front_seq_{0};  ///< seq of entries_.front()
+  std::uint64_t next_seq_{0};
+  std::size_t live_{0};
+  std::unordered_map<int, std::deque<std::uint64_t>> buckets_;
   std::vector<Waiter> waiters_;  // short; vector iteration beats deque here
+  MailboxStats stats_;
 };
 
 }  // namespace pdc::sim

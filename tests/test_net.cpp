@@ -3,8 +3,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "host/platform.hpp"
+#include "net/dragonfly.hpp"
+#include "net/fat_tree.hpp"
 #include "net/shared_bus.hpp"
 #include "net/switched.hpp"
 #include "sim/simulation.hpp"
@@ -183,6 +189,210 @@ TEST(Switched, RejectsBadNodeIds) {
   net::SwitchedNetwork sw(simu, "sw", 2, {});
   EXPECT_THROW(sw.transfer(0, 5, 100), std::out_of_range);
   EXPECT_THROW(sw.transfer(-1, 0, 100), std::out_of_range);
+}
+
+// A small fat-tree that is easy to reason about: 4 hosts per edge switch,
+// two tiers (capacity 16), 2 uplink planes (2:1 oversubscribed).
+net::FatTreeParams small_fat_tree() {
+  net::FatTreeParams p;
+  p.arity = 4;
+  p.levels = 2;
+  p.uplinks = 2;
+  return p;
+}
+
+TEST(FatTree, MeetLevelAndPathLinks) {
+  sim::Simulation simu;
+  net::FatTreeParams p;
+  p.arity = 4;
+  p.levels = 3;
+  net::FatTreeNetwork ft(simu, "ft", 64, p);
+  EXPECT_EQ(ft.meet_level(0, 1), 0);    // same edge switch
+  EXPECT_EQ(ft.path_links(0, 1), 0);
+  EXPECT_EQ(ft.meet_level(0, 5), 1);    // adjacent edge switches
+  EXPECT_EQ(ft.path_links(0, 5), 2);
+  EXPECT_EQ(ft.meet_level(0, 17), 2);   // different level-2 subtrees
+  EXPECT_EQ(ft.path_links(0, 17), 4);
+  EXPECT_EQ(ft.meet_level(3, 3), 0);
+}
+
+TEST(FatTree, DistinctEdgePairsRunInParallel) {
+  sim::Simulation simu;
+  net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+  // Both pairs stay inside their own edge switch: identical arrival times.
+  const auto t1 = ft.transfer(0, 1, 1 << 20);
+  const auto t2 = ft.transfer(4, 5, 1 << 20);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(FatTree, CrossTierTransferCostsMore) {
+  sim::Simulation simu;
+  net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+  const auto same_edge = ft.transfer(0, 1, 1 << 20);
+  sim::Simulation simu2;
+  net::FatTreeNetwork ft2(simu2, "ft", 16, small_fat_tree());
+  const auto cross = ft2.transfer(0, 15, 1 << 20);
+  EXPECT_GT(cross, same_edge);
+}
+
+TEST(FatTree, SharedUplinkPlaneSerializes) {
+  // D-mod-k: both destinations hash onto plane 0, so the two flows out of
+  // edge switch 0 share one uplink cable and must serialize there...
+  sim::Simulation simu;
+  net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+  (void)ft.transfer(0, 8, 1 << 20);
+  const auto contended = ft.transfer(1, 12, 1 << 20);  // 8 % 2 == 12 % 2 == 0
+  // ...while a destination on the other plane rides a disjoint cable.
+  sim::Simulation simu2;
+  net::FatTreeNetwork ft2(simu2, "ft", 16, small_fat_tree());
+  (void)ft2.transfer(0, 8, 1 << 20);
+  const auto disjoint = ft2.transfer(1, 13, 1 << 20);  // 13 % 2 == 1
+  EXPECT_GT(contended, disjoint);
+}
+
+TEST(FatTree, RoutingIsDeterministic) {
+  // Same construction, same call sequence -> byte-identical arrival times.
+  auto run = [] {
+    sim::Simulation simu;
+    net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+    std::vector<std::int64_t> arrivals;
+    for (int src = 0; src < 16; ++src) {
+      arrivals.push_back(ft.transfer(src, (src * 7 + 3) % 16, 4096 * (src + 1)).ns);
+    }
+    return arrivals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FatTree, ResourcesAreCreatedOnFirstUse) {
+  sim::Simulation simu;
+  net::FatTreeNetwork ft(simu, "ft", 4096, {});
+  EXPECT_EQ(ft.active_resources(), 0u);
+  (void)ft.transfer(0, 4095, 4096);
+  // One tx + one rx port plus the climbed/descended cables -- far from
+  // the thousands a fully-materialised fabric would hold.
+  EXPECT_LE(ft.active_resources(), 2u + 2u * 3u);
+  EXPECT_GE(ft.active_resources(), 2u);
+}
+
+TEST(FatTree, RejectsBadIdsAndOverCapacity) {
+  sim::Simulation simu;
+  net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+  EXPECT_THROW(ft.transfer(0, 16, 100), std::out_of_range);
+  EXPECT_THROW(ft.transfer(-1, 0, 100), std::out_of_range);
+  // Capacity with arity 4, levels 2 is 16 hosts.
+  EXPECT_THROW(net::FatTreeNetwork(simu, "big", 17, small_fat_tree()),
+               std::invalid_argument);
+}
+
+TEST(FatTree, NegativeBytesClampToOneFrame) {
+  sim::Simulation simu;
+  net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+  EXPECT_EQ(ft.wire_bytes(-1), ft.wire_bytes(0));
+  EXPECT_GT(ft.wire_bytes(-1), 0);
+}
+
+net::DragonflyParams small_dragonfly() {
+  net::DragonflyParams p;
+  p.group_size = 4;
+  p.global_links_per_pair = 1;
+  return p;
+}
+
+TEST(Dragonfly, IntraGroupBeatsInterGroup) {
+  sim::Simulation simu;
+  net::DragonflyNetwork df(simu, "df", 12, small_dragonfly());
+  const auto local = df.transfer(0, 1, 1 << 20);
+  sim::Simulation simu2;
+  net::DragonflyNetwork df2(simu2, "df", 12, small_dragonfly());
+  const auto global = df2.transfer(0, 4, 1 << 20);
+  EXPECT_GT(global, local);
+}
+
+TEST(Dragonfly, SharedGlobalCableSerializes) {
+  // Two flows between the same group pair share the single global cable...
+  sim::Simulation simu;
+  net::DragonflyNetwork df(simu, "df", 12, small_dragonfly());
+  (void)df.transfer(0, 4, 1 << 20);
+  const auto contended = df.transfer(1, 5, 1 << 20);
+  // ...flows toward different groups ride disjoint cables.
+  sim::Simulation simu2;
+  net::DragonflyNetwork df2(simu2, "df", 12, small_dragonfly());
+  (void)df2.transfer(0, 4, 1 << 20);
+  const auto disjoint = df2.transfer(1, 9, 1 << 20);
+  EXPECT_GT(contended, disjoint);
+}
+
+TEST(Dragonfly, ResourcesAreCreatedOnFirstUse) {
+  sim::Simulation simu;
+  net::DragonflyNetwork df(simu, "df", 4096, {});
+  EXPECT_EQ(df.active_resources(), 0u);
+  (void)df.transfer(0, 4095, 4096);
+  EXPECT_LE(df.active_resources(), 3u);  // tx + rx + one global cable
+}
+
+TEST(Dragonfly, RejectsBadIds) {
+  sim::Simulation simu;
+  net::DragonflyNetwork df(simu, "df", 12, small_dragonfly());
+  EXPECT_THROW(df.transfer(0, 12, 100), std::out_of_range);
+  EXPECT_THROW(df.transfer(-1, 0, 100), std::out_of_range);
+}
+
+// Regression for byte-count arithmetic at >= 2 GiB per transfer: framing
+// math must stay in 64-bit (a 32-bit frames * overhead product would wrap
+// past ~2^31 and could even go negative).
+TEST(WireBytes, SurvivesMultiGigabyteTransfers) {
+  sim::Simulation simu;
+  const std::int64_t big = std::int64_t{3} << 30;  // 3 GiB
+  {
+    net::FatTreeNetwork ft(simu, "ft", 16, small_fat_tree());
+    const std::int64_t frames = (big + 4096 - 1) / 4096;
+    EXPECT_EQ(ft.wire_bytes(big), big + frames * 48);
+    EXPECT_GT(ft.wire_bytes(big), big);
+  }
+  {
+    net::SwitchedParams p;  // FDDI-style framing
+    net::SwitchedNetwork sw(simu, "sw", 4, p);
+    const std::int64_t frames = (big + p.frame_payload - 1) / p.frame_payload;
+    EXPECT_EQ(sw.wire_bytes(big), big + frames * p.frame_overhead_bytes);
+  }
+  {
+    net::SwitchedParams p;
+    p.cell_payload = 48;
+    p.cell_total = 53;
+    net::SwitchedNetwork atm(simu, "atm", 4, p);
+    const std::int64_t cells = (big + 8 + 47) / 48;
+    EXPECT_EQ(atm.wire_bytes(big), cells * 53);  // ~3.54e9: past int32 range
+    EXPECT_GT(atm.wire_bytes(big), std::int64_t{std::numeric_limits<std::int32_t>::max()});
+  }
+  {
+    net::SharedBusParams p;
+    net::SharedBusNetwork bus(simu, "eth", p);
+    const std::int64_t frames = (big + p.frame_payload - 1) / p.frame_payload;
+    EXPECT_EQ(bus.wire_bytes(big), big + frames * p.frame_overhead_bytes);
+  }
+}
+
+TEST(Platform, ScaleCatalogue) {
+  // The paper's field is untouched; the scale platforms live alongside it.
+  EXPECT_EQ(host::all_platforms().size(), 6u);
+  EXPECT_EQ(host::scale_platforms().size(), 3u);
+  for (const auto id : host::scale_platforms()) {
+    EXPECT_EQ(host::platform_spec(id).max_nodes, 4096);
+    EXPECT_GT(host::platform_spec(id).cpu.clock_mhz, 1000.0);
+  }
+  EXPECT_STREQ(host::to_string(PlatformId::ClusterFatTree), "CLUSTER/FatTree");
+}
+
+TEST(Platform, ClusterNodesAreLazy) {
+  sim::Simulation simu;
+  host::Cluster c(simu, PlatformId::ClusterFlat, 1024);
+  EXPECT_EQ(c.size(), 1024);
+  EXPECT_EQ(c.active_nodes(), 0u);
+  EXPECT_EQ(c.node(5).id(), 5);
+  EXPECT_EQ(c.node(1023).id(), 1023);
+  EXPECT_EQ(c.active_nodes(), 2u);
+  EXPECT_THROW(host::Cluster(simu, PlatformId::ClusterFlat, 4097), std::invalid_argument);
 }
 
 TEST(Platform, CatalogueMatchesPaper) {
