@@ -33,6 +33,9 @@ class FaultyNetwork final : public net::Network {
                                  const net::ChunkProtocol& protocol) override;
 
   [[nodiscard]] bool reliable() const noexcept override { return !plan_.enabled(); }
+  /// Faults only delay or destroy frames (reorder jitter and duplicate lag
+  /// are non-negative), so the inner network's horizon remains safe.
+  [[nodiscard]] sim::Duration lookahead() const noexcept override { return inner_->lookahead(); }
   [[nodiscard]] double line_rate_bps() const noexcept override { return inner_->line_rate_bps(); }
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override {

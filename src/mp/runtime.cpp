@@ -63,6 +63,8 @@ Runtime::Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile)
   rx_engines_.resize(n);
   tx_engines_.resize(n);
   comms_.resize(n);
+  tx_links_.resize(n);
+  rx_links_.resize(n);
   transport_.resize(n);
 }
 
@@ -84,8 +86,8 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
                                         sim::PooledFunction<void(sim::TimePoint)> delivered,
                                         std::optional<net::ChunkProtocol> chunked,
                                         std::uint64_t trace_id) {
-  ++messages_sent_;
-  payload_bytes_ += static_cast<std::uint64_t>(bytes);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(static_cast<std::uint64_t>(bytes), std::memory_order_relaxed);
   auto& simulation = sim();
   auto& src_node = cluster_.node(src);
   const sim::TimePoint t1 = src_node.stack().reserve(src_node.stack_service(bytes));
@@ -93,9 +95,11 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
   if (reliable_wire_) {
     // Fast path: the wire delivers every frame intact exactly once, so no
     // sequencing/checksum/ack machinery runs (and fault-free timings stay
-    // bit-identical to the pre-fault kernel).
-    simulation.schedule_at(t1, [this, src, dst, bytes, chunked, trace_id,
-                                delivered = std::move(delivered)]() mutable {
+    // bit-identical to the pre-fault kernel). The wire hop touches shared
+    // network resources, so under sharding it runs on the hub; the arrival
+    // lands back on dst's shard (always beyond the lookahead horizon).
+    simulation.schedule_hub(t1, [this, src, dst, bytes, chunked, trace_id,
+                                 delivered = std::move(delivered)]() mutable {
       const sim::TimePoint arrival =
           chunked ? cluster_.network().transfer_chunked(src, dst, bytes, *chunked)
                   : cluster_.network().transfer(src, dst, bytes);
@@ -109,11 +113,12 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
                      .rank = static_cast<std::int16_t>(src),
                      .peer = static_cast<std::int16_t>(dst)});
       }
-      sim().schedule_at(arrival, [this, dst, bytes, delivered = std::move(delivered)]() mutable {
-        auto& dst_node = cluster_.node(dst);
-        const sim::TimePoint t2 = dst_node.stack().reserve(dst_node.stack_service(bytes));
-        sim().schedule_at(t2, [delivered = std::move(delivered), t2] { delivered(t2); });
-      });
+      sim().schedule_on_rank(
+          dst, arrival, [this, dst, bytes, delivered = std::move(delivered)]() mutable {
+            auto& dst_node = cluster_.node(dst);
+            const sim::TimePoint t2 = dst_node.stack().reserve(dst_node.stack_service(bytes));
+            sim().schedule_at(t2, [delivered = std::move(delivered), t2] { delivered(t2); });
+          });
     });
     return t1;
   }
@@ -122,7 +127,7 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
   flight->src = src;
   flight->dst = dst;
   flight->bytes = bytes;
-  flight->seq = link(src, dst).next_seq++;  // send order == t1 order (FIFO src stack)
+  flight->seq = tx_seq(src, dst)++;  // send order == t1 order (FIFO src stack)
   flight->crc = payload_crc(wire_data);
   flight->data = std::move(wire_data);
   flight->delivered = std::move(delivered);
@@ -138,7 +143,10 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
 }
 
 void Runtime::reliable_transfer(std::shared_ptr<Flight> flight, sim::TimePoint at) {
-  sim().schedule_at(at, [this, flight = std::move(flight)] { transmit_attempt(flight); });
+  // Transmission (wire fate, retransmission timers, sender-side flight
+  // state) is hub work: it reads shared network resources and the fault
+  // plan's RNG, whose draw order must match the serial run exactly.
+  sim().schedule_hub(at, [this, flight = std::move(flight)] { transmit_attempt(flight); });
 }
 
 sim::Duration Runtime::rto(const Flight& flight) const noexcept {
@@ -199,10 +207,13 @@ void Runtime::transmit_attempt(const std::shared_ptr<Flight>& flight) {
     return;
   }
   const std::uint32_t wire_crc = d.corrupted ? (flight->crc ^ kCorruptMask) : flight->crc;
-  sim().schedule_at(d.arrival, [this, flight, wire_crc] { on_data_frame(flight, wire_crc); });
+  // Frame reception (CRC check, dedup, in-order release into dst's stack)
+  // is dst-rank work: it lands on dst's shard, beyond the lookahead horizon.
+  sim().schedule_on_rank(flight->dst, d.arrival,
+                         [this, flight, wire_crc] { on_data_frame(flight, wire_crc); });
   if (d.duplicated) {
-    sim().schedule_at(d.dup_arrival,
-                      [this, flight, wire_crc] { on_data_frame(flight, wire_crc); });
+    sim().schedule_on_rank(flight->dst, d.dup_arrival,
+                           [this, flight, wire_crc] { on_data_frame(flight, wire_crc); });
   }
   if (d.corrupted) {
     // The receiver will reject both copies on CRC and stay silent.
@@ -244,7 +255,7 @@ void Runtime::on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t
     }
     return;  // no ack; the sender's retransmission timer is already armed
   }
-  LinkState& ls = link(flight->src, flight->dst);
+  RxLink& ls = rx_link(flight->src, flight->dst);
   if (flight->seq < ls.rx_next || ls.rx_held.contains(flight->seq)) {
     // Duplicate (wire duplication or a spurious retransmission). Re-ack so
     // a sender that missed the first ack stops resending.
@@ -257,7 +268,9 @@ void Runtime::on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t
                    .rank = static_cast<std::int16_t>(flight->dst),
                    .peer = static_cast<std::int16_t>(flight->src)});
     }
-    send_ack(flight);
+    // The ack is hub work (reverse-path wire + sender flight state); it must
+    // be the event's last action so its pushes extend this event's block.
+    sim().schedule_hub_inline([this, flight] { send_ack(flight); });
     return;
   }
   ls.rx_held.emplace(flight->seq, flight);
@@ -267,7 +280,7 @@ void Runtime::on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t
     ++ls.rx_next;
     release_to_receiver(ready);
   }
-  send_ack(flight);
+  sim().schedule_hub_inline([this, flight] { send_ack(flight); });
 }
 
 void Runtime::release_to_receiver(const std::shared_ptr<Flight>& flight) {

@@ -16,6 +16,7 @@
 // scheduled events on the same queue, so runs stay bit-reproducible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -155,9 +156,15 @@ class Runtime {
   /// Hand a message to rank `dst`'s mailbox at time `at`.
   void deliver_at(sim::TimePoint at, int dst, Message msg);
 
-  /// Total messages moved through the fabric (reporting / tests).
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
-  [[nodiscard]] std::uint64_t payload_bytes_sent() const noexcept { return payload_bytes_; }
+  /// Total messages moved through the fabric (reporting / tests). Relaxed
+  /// atomics: sends on different shards bump them concurrently, and only
+  /// the totals are observable (read after run() completes).
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t payload_bytes_sent() const noexcept {
+    return payload_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// false iff the cluster network injects faults (cached at construction;
   /// wrap the network *before* building the Runtime).
@@ -170,24 +177,30 @@ class Runtime {
  private:
   struct Flight;  // one reliable-transport message in flight (runtime.cpp)
 
-  /// Transport state of one directed link: the sender's next sequence
-  /// number and the receiver's in-order release cursor + reorder buffer.
-  struct LinkState {
-    std::uint64_t next_seq{0};
+  /// Receiver-side transport state of one directed link: the in-order
+  /// release cursor and the reorder buffer.
+  struct RxLink {
     std::uint64_t rx_next{0};
     std::map<std::uint64_t, std::shared_ptr<Flight>> rx_held;
   };
 
-  /// Directed-link transport state, created on first use. Only the
-  /// unreliable path touches links (the reliable fast path returns before
-  /// any sequencing), and even a faulted run exercises O(active links), not
-  /// O(P^2): the seed's n*n vector cost ~1 GB at P=4096 before a single
-  /// message moved.
-  [[nodiscard]] LinkState& link(int src, int dst) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-        static_cast<std::uint32_t>(dst);
-    return links_[key];
+  /// Directed-link transport state, created on first use; O(active links),
+  /// not O(P^2) (the seed's n*n vector cost ~1 GB at P=4096 before a single
+  /// message moved). Split by owning side so the sharded loop never shares
+  /// it across threads: the sender's sequence counter lives with src (bumped
+  /// in kernel_transfer, on src's shard), the receive cursor + reorder
+  /// buffer live with dst (touched in on_data_frame, on dst's shard). The
+  /// outer per-rank slot tables are pre-sized, so concurrent first touches
+  /// of different ranks never reallocate shared state.
+  [[nodiscard]] std::uint64_t& tx_seq(int src, int dst) {
+    auto& slot = tx_links_.at(static_cast<std::size_t>(src));
+    if (!slot) slot = std::make_unique<std::unordered_map<int, std::uint64_t>>();
+    return (*slot)[dst];
+  }
+  [[nodiscard]] RxLink& rx_link(int src, int dst) {
+    auto& slot = rx_links_.at(static_cast<std::size_t>(dst));
+    if (!slot) slot = std::make_unique<std::unordered_map<int, RxLink>>();
+    return (*slot)[src];
   }
 
   [[nodiscard]] sim::SerialResource& lazy_resource(
@@ -216,11 +229,14 @@ class Runtime {
   std::vector<std::unique_ptr<sim::SerialResource>> rx_engines_;
   std::vector<std::unique_ptr<sim::SerialResource>> tx_engines_;
   std::vector<std::unique_ptr<Communicator>> comms_;
-  std::unordered_map<std::uint64_t, LinkState> links_;  // keyed (src << 32) | dst, lazy
-  std::vector<TransportStats> transport_;               // per rank
-  std::uint64_t messages_sent_{0};
-  std::uint64_t payload_bytes_{0};
-  std::uint64_t trace_msg_seq_{0};
+  std::vector<std::unique_ptr<std::unordered_map<int, std::uint64_t>>> tx_links_;  // [src] -> dst
+  std::vector<std::unique_ptr<std::unordered_map<int, RxLink>>> rx_links_;         // [dst] -> src
+  std::vector<TransportStats> transport_;  // per rank; sender fields written on
+                                           // the hub, receiver fields on the
+                                           // rank's shard (phase/merge disjoint)
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::uint64_t trace_msg_seq_{0};  // capture-only, and captures force serial
 
   friend class Communicator;
 };

@@ -48,6 +48,12 @@ class DragonflyNetwork final : public Network {
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
 
+  /// Shortest path (intra-group crossbar) still pays access overhead, one
+  /// switch stage, and propagation; inter-group adds the global hop.
+  [[nodiscard]] sim::Duration lookahead() const noexcept override {
+    return params_.access_overhead + params_.switch_latency + params_.propagation;
+  }
+
   [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
   [[nodiscard]] std::int32_t group_of(NodeId id) const noexcept {
     return id / params_.group_size;

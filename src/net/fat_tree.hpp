@@ -55,6 +55,12 @@ class FatTreeNetwork final : public Network {
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
 
+  /// Shortest path (same edge switch) still pays access overhead, the edge
+  /// switch hop, and propagation before the first byte lands.
+  [[nodiscard]] sim::Duration lookahead() const noexcept override {
+    return params_.access_overhead + params_.switch_latency + params_.propagation;
+  }
+
   [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
 
   /// Lowest tier whose subtree contains both hosts (0: same edge switch).

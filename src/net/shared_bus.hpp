@@ -40,6 +40,12 @@ class SharedBusNetwork final : public Network {
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
 
+  /// Even an empty message occupies the channel for one frame gap (plus
+  /// serialization) and then propagates, so their sum is a safe horizon.
+  [[nodiscard]] sim::Duration lookahead() const noexcept override {
+    return params_.per_frame_gap + params_.propagation;
+  }
+
   [[nodiscard]] const sim::SerialResource& channel() const noexcept { return channel_; }
 
   /// Frames per message (one per MTU payload; a zero-byte message is one

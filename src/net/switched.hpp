@@ -54,6 +54,13 @@ class SwitchedNetwork final : public Network {
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t bytes) const noexcept override;
 
+  /// Every transfer pays access overhead on the tx port, one switch
+  /// latency, and propagation before any byte reaches the destination
+  /// (serialization only adds to that), so their sum is a safe horizon.
+  [[nodiscard]] sim::Duration lookahead() const noexcept override {
+    return params_.access_overhead + params_.switch_latency + params_.propagation;
+  }
+
   /// Node count is stored, not derived from a port container: ports are
   /// created on first use (O(active) state at large P).
   [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }

@@ -45,6 +45,7 @@ struct MailboxStats {
   std::uint64_t matches{0};        ///< items taken out of the unmatched queue
   std::uint64_t items_scanned{0};  ///< queue entries examined across those takes
   std::uint64_t max_depth{0};      ///< peak unmatched-queue depth
+  std::uint64_t compactions{0};    ///< tombstone-compaction passes over the queue
 
   /// Sums the counters; peak depth merges as a max (it is a high-water
   /// mark, not a flow). Both operations are order-independent, so summed
@@ -54,6 +55,7 @@ struct MailboxStats {
     matches += o.matches;
     items_scanned += o.items_scanned;
     max_depth = max_depth > o.max_depth ? max_depth : o.max_depth;
+    compactions += o.compactions;
     return *this;
   }
   friend bool operator==(const MailboxStats&, const MailboxStats&) = default;
@@ -140,6 +142,14 @@ class Mailbox {
     entries_.push_back(Entry{std::move(item), true});
     ++live_;
     if (live_ > stats_.max_depth) stats_.max_depth = live_;
+    // Tombstones between a stuck front entry and the tail are only swept by
+    // this compaction (reclaim_front stops at the first live entry), so a
+    // long-lived unmatched message must not pin a run's worth of dead
+    // entries. Compacting here -- never inside take_matching, which may be
+    // mid-iteration over a bucket deque -- keeps iterators out of harm's
+    // way. Amortised O(1): a pass costs O(size) and only runs once the
+    // queue has doubled its dead weight.
+    if (entries_.size() >= kCompactMin && live_ * 2 <= entries_.size()) compact();
   }
 
   /// Awaitable receive. With no matcher, receives the oldest item.
@@ -191,6 +201,9 @@ class Mailbox {
 
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+  /// Physical queue depth: live entries plus not-yet-compacted tombstones.
+  /// The gap to pending() is the dead weight compaction exists to bound.
+  [[nodiscard]] std::size_t buffered() const noexcept { return entries_.size(); }
   [[nodiscard]] const MailboxStats& stats() const noexcept { return stats_; }
 
  private:
@@ -219,6 +232,31 @@ class Mailbox {
       entries_.pop_front();
       ++front_seq_;
     }
+  }
+
+  /// Below this depth a full rebuild costs more than the tombstones it
+  /// frees; small queues just ride on reclaim_front().
+  static constexpr std::size_t kCompactMin = 64;
+
+  /// Rebuild the queue with only live entries, renumbering them from
+  /// next_seq_ upward in arrival order. Bucket deques are rebuilt to the new
+  /// seqs, so every stale index disappears in the same pass. Renumbering
+  /// keeps the `front_seq_ + entries_.size() == next_seq_` subtraction
+  /// invariant without per-entry seq storage; relative arrival order (all
+  /// matching tie-breaks) is untouched.
+  void compact() {
+    std::deque<Entry> alive;
+    for (auto& e : entries_) {
+      if (e.alive) alive.push_back(std::move(e));
+    }
+    entries_ = std::move(alive);
+    buckets_.clear();
+    front_seq_ = next_seq_;
+    for (const auto& e : entries_) {
+      if (bucket_key_) buckets_[bucket_key_(e.item)].push_back(next_seq_);
+      ++next_seq_;
+    }
+    ++stats_.compactions;
   }
 
   std::optional<T> take(Entry& e) {

@@ -1,0 +1,281 @@
+// pdceval -- sharded event-loop tests (the conservative-lookahead parallel
+// engine, PDC_SIM_THREADS > 1).
+//
+// The engine's one promise is *bit-identical to serial*: every observable
+// of a run -- simulated elapsed time, event count, message/byte totals,
+// transport and mailbox statistics, fault-injection tallies, exception
+// messages, budget accounting -- must be exactly equal between the serial
+// loop and any shard count, including under armed fault plans. These tests
+// pin that promise across thread counts {1, 2, 8} and the scale fabrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "host/platform.hpp"
+#include "mp/api.hpp"
+#include "mp/pack.hpp"
+#include "mp/runtime.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace pdc {
+namespace {
+
+using fault::FaultPlan;
+using host::PlatformId;
+using mp::Communicator;
+using mp::ToolKind;
+
+/// RAII intra-run thread override: a failing assertion must not leak the
+/// setting into later tests (set_sim_threads is thread-local, but gtest
+/// runs every test on this thread).
+struct SimThreadsGuard {
+  explicit SimThreadsGuard(int t) { mp::set_sim_threads(t); }
+  ~SimThreadsGuard() { mp::set_sim_threads(0); }
+  SimThreadsGuard(const SimThreadsGuard&) = delete;
+  SimThreadsGuard& operator=(const SimThreadsGuard&) = delete;
+};
+
+/// Packing hoisted out of the coroutine body: GCC mis-analyses vector
+/// growth inlined into a coroutine frame and emits a bogus
+/// -Wstringop-overflow; a plain function keeps the build warning-clean.
+[[gnu::noinline]] mp::Payload rank_payload(std::int64_t v) {
+  mp::Packer pk;
+  pk.put<std::int64_t>(v);
+  return pk.finish();
+}
+
+/// Collective fan-in plus a point-to-point ring shift: exercises both the
+/// hub (wire transfers) and cross-shard rank-to-rank hand-off.
+mp::RankProgram mixed_traffic(int procs, std::atomic<int>& failures) {
+  return [procs, &failures](Communicator& c) -> sim::Task<void> {
+    std::vector<std::int32_t> v(32, c.rank() + 1);
+    co_await c.global_sum(v);
+    const auto expected =
+        static_cast<std::int32_t>(std::int64_t{procs} * (procs + 1) / 2);
+    for (const auto x : v) {
+      if (x != expected) failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    const int right = (c.rank() + 1) % procs;
+    const int left = (c.rank() + procs - 1) % procs;
+    co_await c.send(right, /*tag=*/5, rank_payload(c.rank()));
+    mp::Message m = co_await c.recv(left, /*tag=*/5);
+    mp::PayloadReader r(m.data);
+    if (r.get<std::int64_t>() != left) failures.fetch_add(1, std::memory_order_relaxed);
+  };
+}
+
+/// Field-by-field equality between two RunOutcomes; EXPECT per field so a
+/// divergence names exactly which observable broke.
+void expect_identical(const mp::RunOutcome& base, const mp::RunOutcome& out,
+                      const std::string& label) {
+  EXPECT_EQ(base.elapsed.ns, out.elapsed.ns) << label;
+  EXPECT_EQ(base.events, out.events) << label;
+  EXPECT_EQ(base.messages, out.messages) << label;
+  EXPECT_EQ(base.payload_bytes, out.payload_bytes) << label;
+  EXPECT_EQ(base.transport, out.transport) << label;
+  EXPECT_EQ(base.mailbox, out.mailbox) << label;
+  EXPECT_EQ(base.injected.frames, out.injected.frames) << label;
+  EXPECT_EQ(base.injected.drops, out.injected.drops) << label;
+  EXPECT_EQ(base.injected.flap_drops, out.injected.flap_drops) << label;
+  EXPECT_EQ(base.injected.corruptions, out.injected.corruptions) << label;
+  EXPECT_EQ(base.injected.duplicates, out.injected.duplicates) << label;
+  EXPECT_EQ(base.injected.reorders, out.injected.reorders) << label;
+}
+
+// ---------- the matrix: thread count x fabric, clean traffic ----------------
+
+TEST(ShardBitIdentical, CleanTrafficAcrossFabricsAndThreadCounts) {
+  for (const auto platform : {PlatformId::ClusterFlat, PlatformId::ClusterFatTree,
+                              PlatformId::ClusterDragonfly}) {
+    constexpr int kProcs = 96;
+    std::atomic<int> failures{0};
+    mp::RunOutcome baseline;
+    {
+      SimThreadsGuard guard(1);
+      baseline = mp::run_spmd(platform, kProcs, ToolKind::Express,
+                              mixed_traffic(kProcs, failures));
+    }
+    EXPECT_GT(baseline.events, 0u);
+    EXPECT_GT(baseline.messages, static_cast<std::uint64_t>(kProcs));
+    for (const int threads : {2, 8}) {
+      SimThreadsGuard guard(threads);
+      const auto out = mp::run_spmd(platform, kProcs, ToolKind::Express,
+                                    mixed_traffic(kProcs, failures));
+      expect_identical(baseline, out,
+                       std::string(host::to_string(platform)) +
+                           " threads=" + std::to_string(threads));
+    }
+    EXPECT_EQ(failures.load(), 0) << host::to_string(platform);
+  }
+}
+
+// ---------- the matrix under faults: 5% drop, reliable transport ------------
+
+TEST(ShardBitIdentical, FaultSoakFivePercentDropAcrossThreadCounts) {
+  constexpr int kProcs = 64;
+  const auto plan = FaultPlan::uniform(0.05);
+  std::atomic<int> failures{0};
+  mp::RunOutcome baseline;
+  {
+    SimThreadsGuard guard(1);
+    baseline = mp::run_spmd_faulty(PlatformId::ClusterFatTree, kProcs, ToolKind::P4,
+                                   plan, mixed_traffic(kProcs, failures));
+  }
+  // The soak must actually soak: drops happened, the transport recovered.
+  EXPECT_GT(baseline.injected.drops, 0);
+  EXPECT_GT(baseline.transport.retransmits, 0);
+  for (const int threads : {2, 8}) {
+    SimThreadsGuard guard(threads);
+    const auto out = mp::run_spmd_faulty(PlatformId::ClusterFatTree, kProcs,
+                                         ToolKind::P4, plan,
+                                         mixed_traffic(kProcs, failures));
+    expect_identical(baseline, out, "faulty fat-tree threads=" + std::to_string(threads));
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------- budget accounting is exact at any thread count ------------------
+
+TEST(ShardBudget, TripMessageAndCountMatchSerialExactly) {
+  // 16 spinning ranks; the budget trips mid-run. The sharded loop must
+  // consume *exactly* the same serial prefix of events before throwing,
+  // with the same message -- not "roughly the budget, somewhere near it".
+  auto run_case = [](bool sharded) {
+    sim::Simulation s;
+    if (sharded) s.configure_shards(8, 16, sim::microseconds(5));
+    for (int r = 0; r < 16; ++r) {
+      s.spawn_on(r,
+                 [](sim::Simulation& sim) -> sim::Task<void> {
+                   for (;;) co_await sim.delay(sim::microseconds(1));
+                 }(s),
+                 "spin" + std::to_string(r));
+    }
+    s.set_event_budget(1000);
+    std::string msg;
+    try {
+      (void)s.run();
+    } catch (const sim::EventBudgetExceeded& e) {
+      msg = e.what();
+    }
+    return std::pair<std::string, std::uint64_t>{msg, s.events_processed()};
+  };
+  const auto serial = run_case(false);
+  const auto sharded = run_case(true);
+  EXPECT_FALSE(serial.first.empty()) << "serial run never tripped the budget";
+  EXPECT_EQ(serial.first, sharded.first);
+  EXPECT_EQ(serial.second, sharded.second);
+  EXPECT_LE(sharded.second, 1000u);
+}
+
+// ---------- deadlock detection still fires under shards ---------------------
+
+TEST(ShardDeadlock, StarvedRanksAreDetected) {
+  sim::Simulation s;
+  s.configure_shards(4, 8, sim::microseconds(5));
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> boxes;
+  for (int r = 0; r < 8; ++r) boxes.push_back(std::make_unique<sim::Mailbox<int>>(s));
+  for (int r = 0; r < 8; ++r) {
+    s.spawn_on(r,
+               [](sim::Mailbox<int>& b) -> sim::Task<void> {
+                 (void)co_await b.recv();  // nobody ever sends
+               }(*boxes[r]),
+               "starved" + std::to_string(r));
+  }
+  EXPECT_THROW((void)s.run(), sim::DeadlockDetected);
+}
+
+// ---------- shard-count plumbing --------------------------------------------
+
+TEST(ShardConfig, ClampsAndRejectsLateConfiguration) {
+  {
+    // More shards than ranks clamps; a lone rank degenerates to serial.
+    sim::Simulation s;
+    s.configure_shards(8, 1, sim::microseconds(1));
+    EXPECT_EQ(s.shard_count(), 1);
+  }
+  {
+    // Zero lookahead cannot bound a window: serial.
+    sim::Simulation s;
+    s.configure_shards(4, 16, sim::Duration{0});
+    EXPECT_EQ(s.shard_count(), 1);
+  }
+  {
+    sim::Simulation s;
+    s.configure_shards(4, 16, sim::microseconds(1));
+    EXPECT_EQ(s.shard_count(), 4);
+    // Contiguous, covering, monotone rank partition.
+    int prev = -1;
+    for (int r = 0; r < 16; ++r) {
+      const int sh = s.shard_of(r);
+      EXPECT_GE(sh, prev);
+      EXPECT_LT(sh, 4);
+      prev = sh;
+    }
+    EXPECT_EQ(s.shard_of(0), 0);
+    EXPECT_EQ(s.shard_of(15), 3);
+    EXPECT_THROW(s.configure_shards(2, 16, sim::microseconds(1)), std::logic_error);
+  }
+  {
+    // A simulation that already has work cannot be sharded retroactively.
+    sim::Simulation s;
+    s.spawn([](sim::Simulation& sim) -> sim::Task<void> {
+      co_await sim.delay(sim::microseconds(1));
+    }(s));
+    EXPECT_THROW(s.configure_shards(2, 4, sim::microseconds(1)), std::logic_error);
+  }
+}
+
+// ---------- event-queue seq plumbing the sharded loop relies on -------------
+
+TEST(EventQueueSeq, ExplicitSeqsOrderByTimeThenSeq) {
+  // push_seq's contract mirrors the sharded loop's single global counter:
+  // seqs arrive in increasing order, times may go backwards. Ordering out
+  // is (time, seq) -- a later-seq event at an earlier time fires first.
+  sim::EventQueue q;
+  std::vector<int> order;
+  const sim::TimePoint t1{100};
+  const sim::TimePoint t2{200};
+  q.push_seq(t2, 3, [&] { order.push_back(3); });
+  q.push_seq(t1, 7, [&] { order.push_back(7); });  // earlier time, later seq
+  q.push_seq(t2, 9, [&] { order.push_back(9); });  // ties with seq 3 on time
+  sim::TimePoint at{};
+  std::uint64_t seq = 0;
+  sim::Event ev;
+  ASSERT_TRUE(q.pop_next(sim::TimePoint{1000}, at, seq, ev));
+  EXPECT_EQ(at.ns, 100);
+  EXPECT_EQ(seq, 7u);
+  ev();
+  ASSERT_TRUE(q.pop_next(sim::TimePoint{1000}, at, seq, ev));
+  EXPECT_EQ(at.ns, 200);
+  EXPECT_EQ(seq, 3u);
+  ev();
+  ASSERT_TRUE(q.pop_next(sim::TimePoint{1000}, at, seq, ev));
+  EXPECT_EQ(seq, 9u);
+  ev();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(order, (std::vector<int>{7, 3, 9}));
+  // Ordinary pushes afterwards continue above the highest explicit seq.
+  EXPECT_GE(q.next_seq(), 10u);
+}
+
+TEST(EventQueueSeq, SetNextSeqOnlyRaises) {
+  sim::EventQueue q;
+  q.set_next_seq(50);
+  EXPECT_EQ(q.next_seq(), 50u);
+  q.set_next_seq(10);  // never lowers: provisional window seqs stay above real ones
+  EXPECT_EQ(q.next_seq(), 50u);
+  q.push(sim::TimePoint{5}, [] {});
+  EXPECT_EQ(q.next_seq(), 51u);
+}
+
+}  // namespace
+}  // namespace pdc
