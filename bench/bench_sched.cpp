@@ -1,0 +1,76 @@
+// Multi-tenant scheduler throughput (ROADMAP item 2): one SchedCell per
+// (platform x arrival rate), backfill on, default job mix. Reported per
+// benchmark:
+//   jobs_per_s     -- completed jobs / wall second (planner + sim throughput)
+//   events_per_s   -- simulator event throughput under contention
+//   utilization    -- busy-node fraction of the schedule (simulated)
+//   makespan_ms    -- simulated schedule length (determinism anchor)
+//   mean_slowdown  -- mean bounded slowdown across completed jobs
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/sched_cell.hpp"
+#include "host/platform.hpp"
+
+namespace {
+
+using namespace pdc;
+
+eval::SchedCell make_cell(host::PlatformId platform, double rate_hz) {
+  eval::SchedCell cell;
+  cell.platform = platform;
+  cell.nodes = 64;
+  cell.arrival_rate_hz = rate_hz;
+  cell.njobs = 32;
+  cell.users = 4;
+  cell.seed = 7;
+  return cell;
+}
+
+void BM_SchedCell(benchmark::State& state) {
+  const auto platform = host::scale_platforms().at(static_cast<std::size_t>(state.range(0)));
+  const double rate_hz = static_cast<double>(state.range(1));
+  const auto cell = make_cell(platform, rate_hz);
+
+  std::uint64_t jobs = 0;
+  std::uint64_t events = 0;
+  double utilization = 0.0;
+  double makespan_ms = 0.0;
+  double mean_slowdown = 0.0;
+  for (auto _ : state) {
+    const auto out = eval::run_sched_cell(cell);
+    jobs += static_cast<std::uint64_t>(out.schedule.completed);
+    events += out.schedule.events;
+    utilization = out.schedule.utilization;  // identical every iteration
+    makespan_ms = out.schedule.makespan.millis();
+    double slowdown = 0.0;
+    int n = 0;
+    for (const auto& j : out.schedule.jobs) {
+      if (j.state != sched::JobState::Completed) continue;
+      slowdown += j.bounded_slowdown();
+      ++n;
+    }
+    mean_slowdown = n > 0 ? slowdown / n : 0.0;
+  }
+  state.counters["jobs_per_s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["utilization"] = utilization;
+  state.counters["makespan_ms"] = makespan_ms;
+  state.counters["mean_slowdown"] = mean_slowdown;
+  state.SetLabel(host::to_string(platform));
+}
+
+void SchedArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t platform = 0; platform < 3; ++platform)
+    for (std::int64_t rate : {500, 2000, 8000}) b->Args({platform, rate});
+}
+
+BENCHMARK(BM_SchedCell)->Apply(SchedArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

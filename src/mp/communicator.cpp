@@ -18,7 +18,7 @@ std::int64_t Communicator::packets_for(std::int64_t bytes) const noexcept {
 
 sim::Duration Communicator::send_side_cost(std::int64_t bytes) const {
   const auto& p = profile();
-  const auto& cpu = rt_.cluster().node(rank_).cpu();
+  const auto& cpu = rt_.node(rank_).cpu();
   sim::Duration d = p.send_fixed + sim::from_seconds(p.send_copies * cpu.copy(bytes).seconds());
   d += packets_for(bytes) * p.per_packet_send;
   return d;
@@ -26,7 +26,7 @@ sim::Duration Communicator::send_side_cost(std::int64_t bytes) const {
 
 sim::Duration Communicator::daemon_service(std::int64_t bytes) const {
   const auto& p = profile();
-  const auto& cpu = rt_.cluster().node(rank_).cpu();
+  const auto& cpu = rt_.node(rank_).cpu();
   const std::int64_t frags =
       p.daemon_fragment > 0
           ? std::max<std::int64_t>(1, (bytes + p.daemon_fragment - 1) / p.daemon_fragment)
@@ -41,7 +41,7 @@ sim::Duration Communicator::daemon_latency(std::int64_t bytes, sim::Duration ser
   // critical path grows by the difference (the wire drains faster than the
   // daemon produces).
   const auto& p = profile();
-  const auto& cpu = rt_.cluster().node(rank_).cpu();
+  const auto& cpu = rt_.node(rank_).cpu();
   const auto& network = rt_.cluster().network();
   const sim::Duration wire = sim::from_seconds(
       static_cast<double>(network.wire_bytes(bytes)) * 8.0 / network.line_rate_bps());
@@ -136,7 +136,7 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
           [rt, dst, n, background, recv_copies, per_packet_recv,
            msg = std::move(msg)](sim::TimePoint t2) mutable {
             if (background) {
-              const auto& cpu = rt->cluster().node(dst).cpu();
+              const auto& cpu = rt->node(dst).cpu();
               const sim::Duration service =
                   sim::from_seconds(recv_copies * cpu.copy(n).seconds()) + per_packet_recv;
               const sim::TimePoint b = rt->rx_engine(dst).reserve(service);
@@ -222,7 +222,7 @@ sim::Task<void> Communicator::send(int dst, int tag, Payload payload) {
         if (background) {
           // Express buffer layer: the receive engine drains and reassembles
           // packets concurrently with the application (and the wire).
-          const auto& cpu = rt->cluster().node(dst).cpu();
+          const auto& cpu = rt->node(dst).cpu();
           const sim::Duration service =
               sim::from_seconds(recv_copies * cpu.copy(n).seconds()) + per_packet_recv;
           const sim::TimePoint b = rt->rx_engine(dst).reserve(service);

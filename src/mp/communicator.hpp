@@ -32,7 +32,7 @@ class Communicator {
   [[nodiscard]] int size() const noexcept { return rt_.size(); }
   [[nodiscard]] sim::Simulation& sim() noexcept { return rt_.sim(); }
   [[nodiscard]] Runtime& runtime() noexcept { return rt_; }
-  [[nodiscard]] host::Node& node() { return rt_.cluster().node(rank_); }
+  [[nodiscard]] host::Node& node() { return rt_.node(rank_); }
   [[nodiscard]] const ToolProfile& profile() const noexcept { return rt_.profile(); }
 
   /// Reliability work the transport did on this rank's behalf (all zero on

@@ -50,14 +50,21 @@ Runtime::Runtime(host::Cluster& cluster, ToolKind kind)
     : Runtime(cluster, kind, tool_profile(kind, cluster.platform())) {}
 
 Runtime::Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile)
+    : Runtime(cluster, kind, std::move(profile), NodeRange{0, cluster.size()}) {}
+
+Runtime::Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile, NodeRange range)
     : cluster_(cluster),
       kind_(kind),
       profile_(profile),
+      range_(range),
       reliable_wire_(cluster.network().reliable()) {
+  if (range_.base < 0 || range_.count <= 0 || range_.base + range_.count > cluster.size()) {
+    throw std::invalid_argument("Runtime: node range outside the cluster");
+  }
   // Per-rank state is all create-on-first-touch; construction only sizes
   // the slot tables (one allocation each) so a 4096-rank cluster costs a
   // few vectors of null pointers until traffic actually flows.
-  const auto n = static_cast<std::size_t>(cluster_.size());
+  const auto n = static_cast<std::size_t>(range_.count);
   mailboxes_.resize(n);
   daemons_.resize(n);
   rx_engines_.resize(n);
@@ -89,7 +96,7 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   payload_bytes_.fetch_add(static_cast<std::uint64_t>(bytes), std::memory_order_relaxed);
   auto& simulation = sim();
-  auto& src_node = cluster_.node(src);
+  auto& src_node = node(src);
   const sim::TimePoint t1 = src_node.stack().reserve(src_node.stack_service(bytes));
 
   if (reliable_wire_) {
@@ -100,9 +107,11 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
     // lands back on dst's shard (always beyond the lookahead horizon).
     simulation.schedule_hub(t1, [this, src, dst, bytes, chunked, trace_id,
                                  delivered = std::move(delivered)]() mutable {
+      const net::NodeId s = node_of(src);
+      const net::NodeId d = node_of(dst);
       const sim::TimePoint arrival =
-          chunked ? cluster_.network().transfer_chunked(src, dst, bytes, *chunked)
-                  : cluster_.network().transfer(src, dst, bytes);
+          chunked ? cluster_.network().transfer_chunked(s, d, bytes, *chunked)
+                  : cluster_.network().transfer(s, d, bytes);
       PDC_TRACE_BLOCK {
         trace::emit({.t_ns = sim().now().ns,
                      .bytes = bytes,
@@ -110,12 +119,12 @@ sim::TimePoint Runtime::kernel_transfer(int src, int dst, std::int64_t bytes, Pa
                      .aux1 = 1,  // single attempt on a reliable wire
                      .id = trace_id,
                      .kind = trace::Kind::MsgWire,
-                     .rank = static_cast<std::int16_t>(src),
-                     .peer = static_cast<std::int16_t>(dst)});
+                     .rank = static_cast<std::int16_t>(s),
+                     .peer = static_cast<std::int16_t>(d)});
       }
       sim().schedule_on_rank(
-          dst, arrival, [this, dst, bytes, delivered = std::move(delivered)]() mutable {
-            auto& dst_node = cluster_.node(dst);
+          node_of(dst), arrival, [this, dst, bytes, delivered = std::move(delivered)]() mutable {
+            auto& dst_node = node(dst);
             const sim::TimePoint t2 = dst_node.stack().reserve(dst_node.stack_service(bytes));
             sim().schedule_at(t2, [delivered = std::move(delivered), t2] { delivered(t2); });
           });
@@ -167,10 +176,12 @@ void Runtime::transmit_attempt(const std::shared_ptr<Flight>& flight) {
   }
   ++flight->attempt;
   auto& network = cluster_.network();
+  const net::NodeId src_node = node_of(flight->src);
+  const net::NodeId dst_node = node_of(flight->dst);
   const net::Delivery d =
       flight->chunked
-          ? network.transmit_chunked(flight->src, flight->dst, flight->bytes, *flight->chunked)
-          : network.transmit(flight->src, flight->dst, flight->bytes);
+          ? network.transmit_chunked(src_node, dst_node, flight->bytes, *flight->chunked)
+          : network.transmit(src_node, dst_node, flight->bytes);
   flight->deadline = sim().now() + rto(*flight);
   PDC_TRACE_BLOCK {
     if (!d.dropped) {
@@ -180,8 +191,8 @@ void Runtime::transmit_attempt(const std::shared_ptr<Flight>& flight) {
                    .aux1 = flight->attempt,
                    .id = flight->trace_id,
                    .kind = trace::Kind::MsgWire,
-                   .rank = static_cast<std::int16_t>(flight->src),
-                   .peer = static_cast<std::int16_t>(flight->dst)});
+                   .rank = static_cast<std::int16_t>(src_node),
+                   .peer = static_cast<std::int16_t>(dst_node)});
     }
   }
 
@@ -209,10 +220,10 @@ void Runtime::transmit_attempt(const std::shared_ptr<Flight>& flight) {
   const std::uint32_t wire_crc = d.corrupted ? (flight->crc ^ kCorruptMask) : flight->crc;
   // Frame reception (CRC check, dedup, in-order release into dst's stack)
   // is dst-rank work: it lands on dst's shard, beyond the lookahead horizon.
-  sim().schedule_on_rank(flight->dst, d.arrival,
+  sim().schedule_on_rank(dst_node, d.arrival,
                          [this, flight, wire_crc] { on_data_frame(flight, wire_crc); });
   if (d.duplicated) {
-    sim().schedule_on_rank(flight->dst, d.dup_arrival,
+    sim().schedule_on_rank(dst_node, d.dup_arrival,
                            [this, flight, wire_crc] { on_data_frame(flight, wire_crc); });
   }
   if (d.corrupted) {
@@ -284,7 +295,7 @@ void Runtime::on_data_frame(const std::shared_ptr<Flight>& flight, std::uint32_t
 }
 
 void Runtime::release_to_receiver(const std::shared_ptr<Flight>& flight) {
-  auto& dst_node = cluster_.node(flight->dst);
+  auto& dst_node = node(flight->dst);
   const sim::TimePoint t2 = dst_node.stack().reserve(dst_node.stack_service(flight->bytes));
   sim().schedule_at(t2, [flight, t2] { flight->delivered(t2); });
 }
@@ -293,7 +304,8 @@ void Runtime::send_ack(const std::shared_ptr<Flight>& flight) {
   auto& network = cluster_.network();
   // The ack is a real frame on the reverse link: it contends for the wire
   // and is subject to the same fault plan as data.
-  const net::Delivery a = network.transmit(flight->dst, flight->src, kAckBytes);
+  const net::Delivery a =
+      network.transmit(node_of(flight->dst), node_of(flight->src), kAckBytes);
   if (a.dropped || a.corrupted) {
     // Lost ack (a corrupted ack fails the sender's CRC and is dropped
     // there). Charged to this rank: it transmitted the frame the wire ate.

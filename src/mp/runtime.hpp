@@ -72,6 +72,16 @@ class TransportFailure : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A contiguous slice of a cluster's nodes. A Runtime built over a range
+/// exposes a dense rank space 0..count-1 whose rank r lives on physical
+/// node base + r -- the multi-tenant scheduler places every job on such a
+/// slice, so concurrent jobs on one cluster each see an ordinary
+/// 0-based communicator while their traffic shares the physical fabric.
+struct NodeRange {
+  int base{0};
+  int count{0};
+};
+
 class Runtime {
  public:
   Runtime(host::Cluster& cluster, ToolKind kind);
@@ -80,15 +90,27 @@ class Runtime {
   /// field (the paper's second objective: "defining the requirements of
   /// future systems"). `kind` only labels the runtime.
   Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile);
+  /// A runtime spanning only `range` of the cluster (a scheduler job's
+  /// allocation). Ranks are job-local; the whole-cluster constructors are
+  /// the degenerate range {0, cluster.size()}, bit-identical to before the
+  /// range existed.
+  Runtime(host::Cluster& cluster, ToolKind kind, ToolProfile profile, NodeRange range);
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
   [[nodiscard]] ToolKind kind() const noexcept { return kind_; }
-  [[nodiscard]] int size() const noexcept { return cluster_.size(); }
+  [[nodiscard]] int size() const noexcept { return range_.count; }
   [[nodiscard]] host::Cluster& cluster() noexcept { return cluster_; }
   [[nodiscard]] sim::Simulation& sim() noexcept { return cluster_.simulation(); }
   [[nodiscard]] const ToolProfile& profile() const noexcept { return profile_; }
+
+  /// Physical node id of a runtime-local rank (identity for whole-cluster
+  /// runtimes). Every touch of a Node or of the network goes through this.
+  [[nodiscard]] net::NodeId node_of(int rank) const noexcept {
+    return static_cast<net::NodeId>(range_.base + rank);
+  }
+  [[nodiscard]] host::Node& node(int rank) { return cluster_.node(node_of(rank)); }
 
   [[nodiscard]] Communicator& comm(int rank);
 
@@ -223,6 +245,7 @@ class Runtime {
   host::Cluster& cluster_;
   ToolKind kind_;
   ToolProfile profile_;
+  NodeRange range_;
   bool reliable_wire_;
   std::vector<std::unique_ptr<sim::Mailbox<Message>>> mailboxes_;
   std::vector<std::unique_ptr<sim::SerialResource>> daemons_;

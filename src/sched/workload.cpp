@@ -1,0 +1,60 @@
+#include "sched/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace pdc::sched {
+
+std::vector<JobSpec> generate_workload(const WorkloadSpec& spec) {
+  if (spec.templates.empty()) {
+    throw std::invalid_argument("generate_workload: empty template mix");
+  }
+  double total_weight = 0.0;
+  for (const JobTemplate& t : spec.templates) total_weight += t.weight;
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("generate_workload: non-positive total weight");
+  }
+
+  sim::Rng arrivals(sim::named_stream(spec.seed, "pdc.sched.arrivals"));
+  sim::Rng mix(sim::named_stream(spec.seed, "pdc.sched.mix"));
+  sim::Rng assign(sim::named_stream(spec.seed, "pdc.sched.user"));
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(spec.njobs));
+  sim::TimePoint t = sim::TimePoint::origin();
+  for (int i = 0; i < spec.njobs; ++i) {
+    if (spec.arrival_rate_hz > 0.0) {
+      // Exponential interarrival; 1 - u keeps the argument strictly
+      // positive (next_double() is in [0, 1)).
+      const double u = arrivals.next_double();
+      t = t + sim::from_seconds(-std::log(1.0 - u) / spec.arrival_rate_hz);
+    }
+    double pick = mix.next_double() * total_weight;
+    std::size_t chosen = 0;
+    for (std::size_t k = 0; k < spec.templates.size(); ++k) {
+      pick -= spec.templates[k].weight;
+      if (pick < 0.0) {
+        chosen = k;
+        break;
+      }
+    }
+    const JobTemplate& tmpl = spec.templates[chosen];
+    const int user =
+        spec.users > 0 ? static_cast<int>(assign.uniform(0, static_cast<std::uint64_t>(
+                                                                spec.users - 1)))
+                       : 0;
+    jobs.push_back(JobSpec{.id = i,
+                           .user = user,
+                           .submit = t,
+                           .ranks = tmpl.ranks,
+                           .walltime = tmpl.walltime,
+                           .priority = tmpl.priority,
+                           .tool = tmpl.tool,
+                           .program = tmpl.program});
+  }
+  return jobs;
+}
+
+}  // namespace pdc::sched

@@ -1,0 +1,42 @@
+// pdceval -- seeded open-loop workload generation for the scheduler.
+//
+// Arrivals are a Poisson process (exponential interarrivals) drawn from a
+// named substream of the base seed; template choice and user assignment
+// draw from their own named substreams, so enabling or reordering one
+// consumer never shifts the draws of another (the same discipline as fault
+// injection). A WorkloadSpec plus a seed fully determines the job list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace pdc::sched {
+
+/// One job shape the generator can emit. `weight` sets the relative draw
+/// probability within the mix.
+struct JobTemplate {
+  std::string name;
+  mp::ToolKind tool{mp::ToolKind::P4};
+  int ranks{1};
+  sim::Duration walltime{};
+  std::int64_t priority{0};
+  double weight{1.0};
+  mp::RankProgram program;
+};
+
+struct WorkloadSpec {
+  std::uint64_t seed{1};
+  double arrival_rate_hz{50.0};  ///< mean job arrivals per simulated second
+  int njobs{16};
+  int users{4};
+  std::vector<JobTemplate> templates;
+};
+
+/// Generate `spec.njobs` jobs with ids 0..njobs-1 in arrival order.
+/// Non-positive rates collapse every arrival to t=0 (a submission burst).
+[[nodiscard]] std::vector<JobSpec> generate_workload(const WorkloadSpec& spec);
+
+}  // namespace pdc::sched

@@ -66,6 +66,16 @@ void Simulation::spawn_on(int rank, Task<> process, std::string name) {
   shards_[shard_of(rank)]->queue.push_seq(now_, global_seq_++, Event{handle});
 }
 
+void Simulation::spawn_on_at(int rank, TimePoint at, Task<> process, std::string name) {
+  auto root = std::make_unique<RootProcess>(RootProcess{std::move(process), std::move(name)});
+  auto handle = root->task.handle();
+  // roots_ is only touched from serial context, setup code, or the
+  // single-threaded hub merge -- never from a phase-A shard worker (and
+  // schedule_on_rank rejects shard-context cross-shard pushes anyway).
+  roots_.push_back(std::move(root));
+  schedule_on_rank(rank, at, Event{handle});
+}
+
 void Simulation::configure_shards(int shards, int nranks, Duration lookahead) {
   if (!shards_.empty()) {
     throw std::logic_error("Simulation::configure_shards: already configured");

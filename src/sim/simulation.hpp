@@ -119,6 +119,14 @@ class Simulation {
   /// among same-time starts, exactly as in the serial loop.
   void spawn_on(int rank, Task<> process, std::string name = {});
 
+  /// Launch a root process pinned to `rank`'s shard that starts at absolute
+  /// time `at` (>= now()). Unlike spawn_on this is safe mid-run from hub
+  /// context (the scheduler's domain): the start event rides the ordinary
+  /// hub->shard hand-off, so in a sharded run `at` must lie beyond the open
+  /// lookahead window, exactly like schedule_on_rank. Serial runs accept
+  /// any `at` >= now().
+  void spawn_on_at(int rank, TimePoint at, Task<> process, std::string name = {});
+
   // ---- Sharded execution (conservative-lookahead parallel loop) ----
 
   /// Partition `nranks` ranks into `shards` contiguous shards and run the

@@ -54,6 +54,10 @@ enum class Kind : std::uint8_t {
   DupDiscard,
   EventDispatch,
   HostWork,
+  SchedSubmit,    ///< job entered the scheduler queue (aux0 = requested ranks)
+  SchedPlace,     ///< placement decided (aux0 = base node, aux1 = ranks)
+  SchedStart,     ///< job's rank programs launched (aux0 = base node)
+  SchedComplete,  ///< last rank finished (aux0 = start ns, aux1 = ranks)
 };
 
 /// Collective operation code carried in aux0 of CollBegin/CollEnd.
@@ -68,14 +72,15 @@ enum Category : std::uint32_t {
   kCatTransport = 1u << 2,  ///< reliable-transport retransmit/dedup/CRC
   kCatSim = 1u << 3,        ///< per-event kernel dispatch (very verbose)
   kCatHost = 1u << 4,       ///< host wall-clock kernel spans (nondeterministic)
+  kCatSched = 1u << 5,      ///< scheduler lifecycle (submit/place/start/complete)
 };
 
 /// Deterministic default: everything except the per-event firehose and the
 /// wall-clock host spans. Streams captured under this mask are identical
 /// across runs and sweep thread counts.
-inline constexpr std::uint32_t kDefaultMask = kCatMp | kCatNet | kCatTransport;
+inline constexpr std::uint32_t kDefaultMask = kCatMp | kCatNet | kCatTransport | kCatSched;
 inline constexpr std::uint32_t kAllMask =
-    kCatMp | kCatNet | kCatTransport | kCatSim | kCatHost;
+    kCatMp | kCatNet | kCatTransport | kCatSim | kCatHost | kCatSched;
 
 [[nodiscard]] constexpr Category category(Kind k) noexcept {
   switch (k) {
@@ -100,6 +105,11 @@ inline constexpr std::uint32_t kAllMask =
       return kCatSim;
     case Kind::HostWork:
       return kCatHost;
+    case Kind::SchedSubmit:
+    case Kind::SchedPlace:
+    case Kind::SchedStart:
+    case Kind::SchedComplete:
+      return kCatSched;
   }
   return kCatMp;  // unreachable
 }
@@ -122,6 +132,10 @@ inline constexpr std::uint32_t kAllMask =
     case Kind::DupDiscard: return "dup_discard";
     case Kind::EventDispatch: return "event_dispatch";
     case Kind::HostWork: return "host_work";
+    case Kind::SchedSubmit: return "sched_submit";
+    case Kind::SchedPlace: return "sched_place";
+    case Kind::SchedStart: return "sched_start";
+    case Kind::SchedComplete: return "sched_complete";
   }
   return "?";
 }
