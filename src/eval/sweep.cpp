@@ -19,81 +19,52 @@ namespace pdc::eval {
 
 namespace {
 
-// Fleet-wide payload-pool telemetry for the most recent sweep. Workers fold
-// their thread-local mp::BufferPool deltas in as they drain.
-std::atomic<std::uint64_t> g_pool_hits{0};
-std::atomic<std::uint64_t> g_pool_misses{0};
-std::atomic<std::uint64_t> g_pool_releases{0};
-std::atomic<std::uint64_t> g_pool_discards{0};
-std::atomic<std::uint64_t> g_pool_bytes{0};
+// Per-sweep telemetry collector. Each parallel_for_index call owns one,
+// workers fold their thread-local deltas into it under its mutex (once per
+// worker per sweep, so contention is irrelevant), and the submitter
+// publishes the totals into its *own* thread-local snapshot when the sweep
+// drains. The accessors below read that snapshot, so concurrent sweeps
+// submitted from different threads (the evaluation daemon batching misses
+// for several clients at once) each see exactly their own sweep's numbers
+// -- the seed implementation kept one global aggregate, which raced.
+// All folded fields are order-independent sums, hence thread-count-
+// independent.
+struct SweepTelemetry {
+  std::mutex mu;
+  SweepPoolStats pool;
+  SweepFaultStats fault;
+  SweepMailboxStats mailbox;
+  SweepHostStats host;
+};
 
-// Fleet-wide fault telemetry, same lifecycle. Folded under a mutex (once
-// per worker per sweep, so contention is irrelevant); sums are
-// order-independent, hence thread-count-independent.
-std::mutex g_fault_mu;
-SweepFaultStats g_fault_stats;
+// The most recent sweep's totals, per submitting thread. A nested sweep
+// (an app cell that itself sweeps, run inline on a worker) publishes on
+// the worker's thread, never the submitter's, so it cannot clobber the
+// owning sweep's snapshot.
+struct TelemetrySnapshot {
+  SweepPoolStats pool;
+  SweepFaultStats fault;
+  SweepMailboxStats mailbox;
+  SweepHostStats host;
+};
+thread_local TelemetrySnapshot t_last_sweep;
 
-// Fleet-wide mailbox matching telemetry, same lifecycle. All plain sums
-// (peak_depth_sum adds per-run peaks), hence thread-count-independent.
-std::atomic<std::uint64_t> g_mbox_pushes{0};
-std::atomic<std::uint64_t> g_mbox_matches{0};
-std::atomic<std::uint64_t> g_mbox_scanned{0};
-std::atomic<std::uint64_t> g_mbox_peak_sum{0};
-
-// Fleet-wide host-work telemetry, same lifecycle: per-cell wall split and
-// kernel arena activity. Order-independent sums.
-std::atomic<std::uint64_t> g_host_cells{0};
-std::atomic<std::uint64_t> g_host_wall_ns{0};
-std::atomic<std::uint64_t> g_host_app_ns{0};
-std::atomic<std::uint64_t> g_host_kernel_calls{0};
-std::atomic<std::uint64_t> g_host_arena_takes{0};
-std::atomic<std::uint64_t> g_host_arena_grows{0};
-std::atomic<std::uint64_t> g_host_arena_bytes{0};
-
-// One sweep owns the pool at a time; nested/concurrent callers fall back
-// to inline serial execution (see parallel_for_index).
+// One sweep owns the worker pool at a time; nested/concurrent callers fall
+// back to inline serial execution (see parallel_for_index).
 std::mutex g_sweep_mu;
 
-void reset_pool_aggregate() {
-  g_pool_hits = 0;
-  g_pool_misses = 0;
-  g_pool_releases = 0;
-  g_pool_discards = 0;
-  g_pool_bytes = 0;
-  g_mbox_pushes = 0;
-  g_mbox_matches = 0;
-  g_mbox_scanned = 0;
-  g_mbox_peak_sum = 0;
-  g_host_cells = 0;
-  g_host_wall_ns = 0;
-  g_host_app_ns = 0;
-  g_host_kernel_calls = 0;
-  g_host_arena_takes = 0;
-  g_host_arena_grows = 0;
-  g_host_arena_bytes = 0;
-  const std::scoped_lock lock(g_fault_mu);
-  g_fault_stats = {};
-}
-
-void fold_mailbox_delta(const mp::MailboxTelemetry& before) {
+void fold_mailbox_delta(SweepTelemetry& col, const mp::MailboxTelemetry& before) {
   const auto& now = mp::mailbox_accumulator();
-  g_mbox_pushes.fetch_add(now.pushes - before.pushes, std::memory_order_relaxed);
-  g_mbox_matches.fetch_add(now.matches - before.matches, std::memory_order_relaxed);
-  g_mbox_scanned.fetch_add(now.items_scanned - before.items_scanned,
-                           std::memory_order_relaxed);
-  g_mbox_peak_sum.fetch_add(now.peak_depth_sum - before.peak_depth_sum,
-                            std::memory_order_relaxed);
+  const std::scoped_lock lock(col.mu);
+  col.mailbox.pushes += now.pushes - before.pushes;
+  col.mailbox.matches += now.matches - before.matches;
+  col.mailbox.items_scanned += now.items_scanned - before.items_scanned;
+  col.mailbox.peak_depth_sum += now.peak_depth_sum - before.peak_depth_sum;
 }
 
-void fold_pool_delta(const mp::BufferPool::Stats& before,
+void fold_pool_delta(SweepTelemetry& col, const mp::BufferPool::Stats& before,
                      const mp::FaultTelemetry& fault_before) {
   const auto& now = mp::BufferPool::local().stats();
-  g_pool_hits.fetch_add(now.hits - before.hits, std::memory_order_relaxed);
-  g_pool_misses.fetch_add(now.misses - before.misses, std::memory_order_relaxed);
-  g_pool_releases.fetch_add(now.releases - before.releases, std::memory_order_relaxed);
-  g_pool_discards.fetch_add(now.discards - before.discards, std::memory_order_relaxed);
-  g_pool_bytes.fetch_add(now.bytes_recycled - before.bytes_recycled,
-                         std::memory_order_relaxed);
 
   mp::FaultTelemetry delta = mp::transport_accumulator();
   delta.transport.retransmits -= fault_before.transport.retransmits;
@@ -106,9 +77,15 @@ void fold_pool_delta(const mp::BufferPool::Stats& before,
   delta.injected.corruptions -= fault_before.injected.corruptions;
   delta.injected.duplicates -= fault_before.injected.duplicates;
   delta.injected.reorders -= fault_before.injected.reorders;
-  const std::scoped_lock lock(g_fault_mu);
-  g_fault_stats.transport += delta.transport;
-  g_fault_stats.injected += delta.injected;
+
+  const std::scoped_lock lock(col.mu);
+  col.pool.hits += now.hits - before.hits;
+  col.pool.misses += now.misses - before.misses;
+  col.pool.releases += now.releases - before.releases;
+  col.pool.discards += now.discards - before.discards;
+  col.pool.bytes_recycled += now.bytes_recycled - before.bytes_recycled;
+  col.fault.transport += delta.transport;
+  col.fault.injected += delta.injected;
 }
 
 /// Persistent sweep worker pool. The seed implementation spawned and
@@ -208,26 +185,13 @@ class WorkerPool {
 
 }  // namespace
 
-SweepPoolStats last_sweep_pool_stats() {
-  return {g_pool_hits.load(), g_pool_misses.load(), g_pool_releases.load(),
-          g_pool_discards.load(), g_pool_bytes.load()};
-}
+SweepPoolStats last_sweep_pool_stats() { return t_last_sweep.pool; }
 
-SweepFaultStats last_sweep_fault_stats() {
-  const std::scoped_lock lock(g_fault_mu);
-  return g_fault_stats;
-}
+SweepFaultStats last_sweep_fault_stats() { return t_last_sweep.fault; }
 
-SweepMailboxStats last_sweep_mailbox_stats() {
-  return {g_mbox_pushes.load(), g_mbox_matches.load(), g_mbox_scanned.load(),
-          g_mbox_peak_sum.load()};
-}
+SweepMailboxStats last_sweep_mailbox_stats() { return t_last_sweep.mailbox; }
 
-SweepHostStats last_sweep_host_stats() {
-  return {g_host_cells.load(),       g_host_wall_ns.load(),     g_host_app_ns.load(),
-          g_host_kernel_calls.load(), g_host_arena_takes.load(), g_host_arena_grows.load(),
-          g_host_arena_bytes.load()};
-}
+SweepHostStats last_sweep_host_stats() { return t_last_sweep.host; }
 
 unsigned sweep_threads(unsigned requested) {
   if (requested > 0) return requested;
@@ -253,17 +217,19 @@ void parallel_for_index(std::size_t n, unsigned threads,
 
   // One sweep drives the worker pool at a time. A nested call (an app cell
   // that itself sweeps) or a concurrent call from another thread runs its
-  // cells inline: results are identical to the fanned-out run, the cost is
-  // attributed to the owning sweep's cell, and the pool never deadlocks.
+  // cells serially on the calling thread: results are identical to the
+  // fanned-out run and the pool never deadlocks. Telemetry is collected
+  // either way -- every call owns its own collector and publishes to its
+  // own thread's snapshot, so concurrent sweeps never see each other's
+  // numbers. (A nested sweep's activity is also visible in the enclosing
+  // sweep's totals: the outer worker's before/after delta brackets it.)
   std::unique_lock<std::mutex> owner(g_sweep_mu, std::try_to_lock);
-  if (!owner.owns_lock()) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
 
-  reset_pool_aggregate();
+  SweepTelemetry col;
   const std::size_t workers =
-      std::min<std::size_t>(n, static_cast<std::size_t>(sweep_threads(threads)));
+      owner.owns_lock()
+          ? std::min<std::size_t>(n, static_cast<std::size_t>(sweep_threads(threads)))
+          : 1;
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
@@ -292,22 +258,18 @@ void parallel_for_index(std::size_t n, unsigned threads,
               .count());
       ++cells;
     }
-    fold_pool_delta(pool_before, fault_before);
-    fold_mailbox_delta(mailbox_before);
+    fold_pool_delta(col, pool_before, fault_before);
+    fold_mailbox_delta(col, mailbox_before);
     const auto work_now = kernels::host_work();
     const auto arena_now = kernels::Arena::local().stats();
-    g_host_cells.fetch_add(cells, std::memory_order_relaxed);
-    g_host_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
-    g_host_app_ns.fetch_add(work_now.app_ns - work_before.app_ns,
-                            std::memory_order_relaxed);
-    g_host_kernel_calls.fetch_add(work_now.calls - work_before.calls,
-                                  std::memory_order_relaxed);
-    g_host_arena_takes.fetch_add(arena_now.takes - arena_before.takes,
-                                 std::memory_order_relaxed);
-    g_host_arena_grows.fetch_add(arena_now.grows - arena_before.grows,
-                                 std::memory_order_relaxed);
-    g_host_arena_bytes.fetch_add(arena_now.bytes_reserved - arena_before.bytes_reserved,
-                                 std::memory_order_relaxed);
+    const std::scoped_lock lock(col.mu);
+    col.host.cells += cells;
+    col.host.wall_ns += wall_ns;
+    col.host.app_ns += work_now.app_ns - work_before.app_ns;
+    col.host.kernel_calls += work_now.calls - work_before.calls;
+    col.host.arena_takes += arena_now.takes - arena_before.takes;
+    col.host.arena_grows += arena_now.grows - arena_before.grows;
+    col.host.arena_bytes += arena_now.bytes_reserved - arena_before.bytes_reserved;
   };
 
   if (workers <= 1) {
@@ -315,6 +277,11 @@ void parallel_for_index(std::size_t n, unsigned threads,
   } else {
     WorkerPool::instance().run_on(static_cast<unsigned>(workers - 1), worker);
   }
+
+  // Publish this sweep's totals on the submitting thread. run_on's drain
+  // barrier (and the serial path trivially) gives the happens-before edge
+  // from every worker's fold to this read.
+  t_last_sweep = {col.pool, col.fault, col.mailbox, col.host};
 
   if (failed.load(std::memory_order_relaxed)) {
     for (auto& e : errors) {

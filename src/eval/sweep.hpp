@@ -55,8 +55,12 @@ void parallel_for_index(std::size_t n, unsigned threads,
                         const std::function<void(std::size_t)>& body);
 
 /// Aggregated mp::BufferPool activity across every worker of the most
-/// recent parallel_for_index / sweep_* call on this thread's sweep (reset
-/// at the start of each run). Hit rate here is the fleet-wide payload
+/// recent parallel_for_index / sweep_* call *submitted from the calling
+/// thread*. Each sweep owns its own collector and publishes its totals to
+/// the submitter's thread-local snapshot when it drains, so concurrent
+/// sweeps from different threads (the evaluation daemon serving several
+/// clients) each read exactly their own numbers -- the accessors below all
+/// share this per-request scoping. Hit rate here is the fleet-wide payload
 /// recycling rate the benches report.
 struct SweepPoolStats {
   std::uint64_t hits{0};
@@ -73,8 +77,8 @@ struct SweepPoolStats {
 [[nodiscard]] SweepPoolStats last_sweep_pool_stats();
 
 /// Aggregated fault-injection + reliable-transport activity across every
-/// worker of the most recent parallel_for_index / sweep_* call (reset at
-/// the start of each run). All zero for a sweep of fault-free cells. The
+/// worker of the most recent parallel_for_index / sweep_* call submitted
+/// from the calling thread. All zero for a sweep of fault-free cells. The
 /// totals are order-independent sums, so they are identical for any thread
 /// count -- the determinism test pins that.
 struct SweepFaultStats {
@@ -84,8 +88,8 @@ struct SweepFaultStats {
 [[nodiscard]] SweepFaultStats last_sweep_fault_stats();
 
 /// Aggregated mailbox matching telemetry across every worker of the most
-/// recent parallel_for_index / sweep_* call (reset at the start of each
-/// run). `items_scanned / matches` near 1 is the O(active) matching
+/// recent parallel_for_index / sweep_* call submitted from the calling
+/// thread. `items_scanned / matches` near 1 is the O(active) matching
 /// signal; `peak_depth_sum` adds up each cell's peak unmatched-queue depth
 /// (a sum, not a max, so totals stay order- and thread-count-independent).
 struct SweepMailboxStats {
@@ -102,7 +106,8 @@ struct SweepMailboxStats {
 [[nodiscard]] SweepMailboxStats last_sweep_mailbox_stats();
 
 /// Host-work telemetry for the most recent parallel_for_index / sweep_*
-/// call: where the *host's* wall-clock went, split into real application
+/// call submitted from the calling thread: where the *host's* wall-clock
+/// went, split into real application
 /// compute (the kernels layer's ScopedHostWork probes: DCT, FFT, sort,
 /// MC batches) versus everything else (simulation bookkeeping, scheduling,
 /// packing). Per-cell wall times are measured on the worker that ran the

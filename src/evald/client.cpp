@@ -1,0 +1,110 @@
+#include "evald/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace pdc::evald {
+
+Client::Client(const std::string& socket_path) {
+  if (socket_path.empty() || socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw ClientError("evald::Client: bad socket path: " + socket_path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw ClientError("evald::Client: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError("evald::Client: cannot connect to " + socket_path);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::byte> Client::round_trip(const std::vector<std::byte>& payload) {
+  if (!write_frame(fd_, payload)) throw ClientError("evald::Client: send failed");
+  std::vector<std::byte> reply;
+  const FrameStatus status = read_frame(fd_, reply);
+  if (status != FrameStatus::Ok) {
+    throw ClientError(std::string("evald::Client: reply: ") + to_string(status));
+  }
+  if (const auto err = decode_error(reply)) {
+    throw ClientError("evald::Client: daemon error: " + *err);
+  }
+  return reply;
+}
+
+Client::Outcome Client::lookup(const eval::CellSpec& spec) {
+  auto outcomes = sweep({spec});
+  return std::move(outcomes.front());
+}
+
+std::vector<Client::Outcome> Client::sweep(const std::vector<eval::CellSpec>& specs) {
+  LookupRequest req;
+  req.specs = specs;
+  const auto reply_payload = round_trip(encode_lookup(req));
+  const auto reply = decode_lookup_reply(reply_payload);
+  if (!reply || reply->items.size() != specs.size()) {
+    throw ClientError("evald::Client: malformed lookup reply");
+  }
+  std::vector<Outcome> out;
+  out.reserve(specs.size());
+  for (const LookupReply::Item& item : reply->items) {
+    auto result = eval::decode_result(item.result);
+    if (!result) throw ClientError("evald::Client: malformed result bytes");
+    out.push_back(Outcome{std::move(*result), item.origin});
+  }
+  return out;
+}
+
+std::vector<Origin> Client::warm(const std::vector<eval::CellSpec>& specs) {
+  LookupRequest req;
+  req.warm = true;
+  req.specs = specs;
+  const auto reply_payload = round_trip(encode_lookup(req));
+  const auto reply = decode_lookup_reply(reply_payload);
+  if (!reply || reply->items.size() != specs.size()) {
+    throw ClientError("evald::Client: malformed warm reply");
+  }
+  std::vector<Origin> origins;
+  origins.reserve(reply->items.size());
+  for (const LookupReply::Item& item : reply->items) origins.push_back(item.origin);
+  return origins;
+}
+
+DaemonStats Client::stats() {
+  const auto reply = decode_stats_reply(round_trip(encode_stats_request()));
+  if (!reply) throw ClientError("evald::Client: malformed stats reply");
+  return *reply;
+}
+
+std::uint64_t Client::invalidate_all() {
+  InvalidateRequest req;
+  req.all = true;
+  const auto reply = decode_invalidate_reply(round_trip(encode_invalidate(req)));
+  if (!reply) throw ClientError("evald::Client: malformed invalidate reply");
+  return *reply;
+}
+
+bool Client::invalidate(const eval::CellSpec& spec) {
+  InvalidateRequest req;
+  req.all = false;
+  req.spec = spec;
+  const auto reply = decode_invalidate_reply(round_trip(encode_invalidate(req)));
+  if (!reply) throw ClientError("evald::Client: malformed invalidate reply");
+  return *reply != 0;
+}
+
+bool Client::ping() {
+  const auto reply = round_trip(encode_ping());
+  return peek_type(reply) == MsgType::Pong;
+}
+
+}  // namespace pdc::evald

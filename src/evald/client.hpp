@@ -1,0 +1,65 @@
+// pdcevald -- client side of the evaluation service.
+//
+// One blocking connection to a pdcevald daemon. Lookups take cell specs
+// and come back as decoded CellResults tagged with their origin (cache /
+// computed / negative cache); sweeps batch any number of specs into one
+// frame round-trip, which is what makes >10^5 cached lookups/s reachable
+// from a single client. All calls throw evald::ClientError on transport
+// or protocol failure.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "evald/protocol.hpp"
+
+namespace pdc::evald {
+
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  /// Connect to the daemon at `socket_path`; throws ClientError on
+  /// failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct Outcome {
+    eval::CellResult result;
+    Origin origin{Origin::Cache};
+  };
+
+  /// One cell.
+  [[nodiscard]] Outcome lookup(const eval::CellSpec& spec);
+
+  /// A batch; results in request order.
+  [[nodiscard]] std::vector<Outcome> sweep(const std::vector<eval::CellSpec>& specs);
+
+  /// Execute-and-cache without shipping result bytes back; returns each
+  /// cell's origin.
+  [[nodiscard]] std::vector<Origin> warm(const std::vector<eval::CellSpec>& specs);
+
+  [[nodiscard]] DaemonStats stats();
+
+  /// Drop the whole store; returns entries removed.
+  std::uint64_t invalidate_all();
+  /// Drop one spec; true if it was cached.
+  bool invalidate(const eval::CellSpec& spec);
+
+  /// Liveness probe.
+  [[nodiscard]] bool ping();
+
+ private:
+  [[nodiscard]] std::vector<std::byte> round_trip(const std::vector<std::byte>& payload);
+
+  int fd_{-1};
+};
+
+}  // namespace pdc::evald

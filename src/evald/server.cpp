@@ -1,0 +1,228 @@
+#include "evald/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "eval/sweep.hpp"
+
+namespace pdc::evald {
+
+namespace {
+
+int make_listener(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("evald::Server: bad socket path: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("evald::Server: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // a stale socket from a dead daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("evald::Server: cannot bind " + path);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  store_ = std::make_unique<Store>(config_.store_path, config_.model_version);
+  listen_fd_ = make_listener(config_.socket_path);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    const std::scoped_lock lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    ::shutdown(c->fd, SHUT_RDWR);
+    if (c->thread.joinable()) c->thread.join();
+    ::close(c->fd);
+  }
+  ::unlink(config_.socket_path.c_str());
+}
+
+void Server::reap_finished_locked() {
+  std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
+    if (!c->done.load(std::memory_order_acquire)) return false;
+    if (c->thread.joinable()) c->thread.join();
+    ::close(c->fd);
+    return true;
+  });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener gone
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    const std::scoped_lock lock(conns_mu_);
+    reap_finished_locked();
+    conn->thread = std::thread([this, raw] { serve(*raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::serve(Connection& conn) {
+  std::vector<std::byte> payload;
+  for (;;) {
+    const FrameStatus status = read_frame(conn.fd, payload);
+    if (status != FrameStatus::Ok) {
+      // Eof is the clean goodbye; everything else is an untrustworthy
+      // stream -- either way the connection closes and the daemon moves
+      // on. No reply is attempted on a framing error: the peer's framing
+      // state is unknown.
+      if (status != FrameStatus::Eof) frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    bool keep_going = false;
+    try {
+      keep_going = handle(conn.fd, payload);
+    } catch (const std::exception& e) {
+      // Out-of-memory or store I/O trouble: tell this client and drop the
+      // connection; the daemon itself keeps serving.
+      (void)write_frame(conn.fd, encode_error(e.what()));
+    }
+    if (!keep_going) break;
+  }
+  ::shutdown(conn.fd, SHUT_RDWR);
+  conn.done.store(true, std::memory_order_release);
+}
+
+bool Server::handle(int fd, const std::vector<std::byte>& payload) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto type = peek_type(payload);
+  if (!type) {
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+    return write_frame(fd, encode_error("unknown message type")) && false;
+  }
+  switch (*type) {
+    case MsgType::Ping:
+      return write_frame(fd, encode_pong());
+    case MsgType::Lookup: {
+      const auto req = decode_lookup(payload);
+      if (!req) return write_frame(fd, encode_error("malformed lookup")) && false;
+      return write_frame(fd, encode_lookup_reply(run_lookup(*req)));
+    }
+    case MsgType::Stats:
+      return write_frame(fd, encode_stats_reply(stats()));
+    case MsgType::Invalidate: {
+      const auto req = decode_invalidate(payload);
+      if (!req) return write_frame(fd, encode_error("malformed invalidate")) && false;
+      std::uint64_t removed = 0;
+      if (req->all) {
+        removed = store_->invalidate_all();
+      } else {
+        const auto spec_bytes = eval::encode_spec(req->spec);
+        const auto key = eval::cell_key(spec_bytes, config_.model_version);
+        removed = store_->invalidate(key, spec_bytes) ? 1 : 0;
+      }
+      return write_frame(fd, encode_invalidate_reply(removed));
+    }
+    default:
+      // A reply type arriving at the server is a protocol violation.
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      return write_frame(fd, encode_error("unexpected message type")) && false;
+  }
+}
+
+LookupReply Server::run_lookup(const LookupRequest& request) {
+  const std::size_t n = request.specs.size();
+  LookupReply reply;
+  reply.items.resize(n);
+  cells_served_.fetch_add(n, std::memory_order_relaxed);
+
+  // Hot path first: serve every cached cell straight from the store.
+  std::vector<std::vector<std::byte>> spec_bytes(n);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < n; ++i) {
+    spec_bytes[i] = eval::encode_spec(request.specs[i]);
+    keys[i] = eval::cell_key(spec_bytes[i], config_.model_version);
+    if (auto cached = store_->lookup(keys[i], spec_bytes[i])) {
+      reply.items[i].origin = cached->negative ? Origin::NegativeCache : Origin::Cache;
+      if (!request.warm) reply.items[i].result = std::move(cached->result);
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  // Batch the misses onto the worker pool; each result lands at its own
+  // request index, so the merged reply is in deterministic cell order no
+  // matter how the fleet schedules the simulations.
+  if (!misses.empty()) {
+    cells_computed_.fetch_add(misses.size(), std::memory_order_relaxed);
+    std::vector<std::vector<std::byte>> computed(misses.size());
+    // uint8_t, not bool: workers write elements concurrently and
+    // vector<bool> packs neighbours into one byte.
+    std::vector<std::uint8_t> negative(misses.size(), 0);
+    eval::parallel_for_index(misses.size(), 0, [&](std::size_t m) {
+      const eval::CellResult result = eval::run_cell(request.specs[misses[m]]);
+      computed[m] = eval::encode_result(result);
+      negative[m] = result.status == eval::CellStatus::Error;
+    });
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const std::size_t i = misses[m];
+      store_->insert(keys[i], spec_bytes[i], computed[m], negative[m] != 0);
+      reply.items[i].origin = Origin::Computed;
+      if (!request.warm) reply.items[i].result = std::move(computed[m]);
+    }
+  }
+  return reply;
+}
+
+DaemonStats Server::stats() const {
+  const StoreStats s = store_->stats();
+  DaemonStats out;
+  out.entries = s.entries;
+  out.negative_entries = s.negative_entries;
+  out.hits = s.hits;
+  out.negative_hits = s.negative_hits;
+  out.misses = s.misses;
+  out.inserts = s.inserts;
+  out.invalidated = s.invalidated;
+  out.log_bytes = s.log_bytes;
+  out.recovered = s.recovered;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.cells_served = cells_served_.load(std::memory_order_relaxed);
+  out.cells_computed = cells_computed_.load(std::memory_order_relaxed);
+  out.connections = connections_.load(std::memory_order_relaxed);
+  out.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  out.model_version = config_.model_version;
+  return out;
+}
+
+}  // namespace pdc::evald

@@ -1,0 +1,88 @@
+// pdcevald -- the evaluation-as-a-service daemon.
+//
+// A long-running server on a Unix-domain socket holding one
+// content-addressed Store. Each connection gets its own thread reading
+// CRC-framed requests; lookups are served straight from the store (the
+// >10^5 lookups/s hot path is hash + probe + byte-compare + reply), and a
+// batch's misses are simulated together on the existing eval::WorkerPool
+// via eval::parallel_for_index -- a sweep with mixed hit/miss cells only
+// simulates the misses, and results merge back in deterministic cell
+// order because every reply slot is written at the request's own index.
+//
+// Framing errors (oversized prefix, truncation, CRC mismatch) close the
+// connection cleanly without touching the store or other clients; the
+// daemon keeps serving new connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evald/protocol.hpp"
+#include "evald/store.hpp"
+
+namespace pdc::evald {
+
+struct ServerConfig {
+  std::string socket_path;    ///< Unix-domain socket to bind
+  std::string store_path;     ///< persistent store file; empty = in-memory
+  std::uint64_t model_version{eval::kModelVersion};
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately; throws std::runtime_error when the
+  /// socket or store cannot be set up.
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Start accepting connections (returns immediately).
+  void start();
+
+  /// Stop accepting, close every live connection, join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+  [[nodiscard]] DaemonStats stats() const;
+  [[nodiscard]] Store& store() noexcept { return *store_; }
+
+ private:
+  struct Connection {
+    int fd{-1};
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve(Connection& conn);
+  /// Handle one decoded request; false closes the connection.
+  [[nodiscard]] bool handle(int fd, const std::vector<std::byte>& payload);
+  [[nodiscard]] LookupReply run_lookup(const LookupRequest& request);
+  void reap_finished_locked();
+
+  ServerConfig config_;
+  std::unique_ptr<Store> store_;
+  int listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cells_served_{0};
+  std::atomic<std::uint64_t> cells_computed_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+};
+
+}  // namespace pdc::evald

@@ -1,0 +1,326 @@
+#include "evald/store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "mp/checksum.hpp"
+
+namespace pdc::evald {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45434450u;  // "PDCE" little-endian
+constexpr std::uint32_t kFormat = 1;
+constexpr std::size_t kHeaderBytes = 16;  // magic u32 | format u32 | version u64
+
+constexpr std::uint8_t kRecEntry = 1;
+constexpr std::uint8_t kRecNegative = 2;
+constexpr std::uint8_t kRecTombstone = 3;
+
+// Record payload header: kind u8 | key u64 | spec_len u32 | result_len u32.
+constexpr std::size_t kRecHeader = 1 + 8 + 4 + 4;
+constexpr std::uint32_t kMaxRecordPayload = 64u << 20;
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+void put_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool write_all(int fd, const std::byte* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Store::Store(std::string path, std::uint64_t model_version)
+    : path_(std::move(path)), model_version_(model_version) {
+  slots_.resize(64);
+  if (path_.empty()) return;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw std::runtime_error("evald::Store: cannot open " + path_);
+  load_log_locked();
+}
+
+Store::~Store() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Store::reset_log_locked() {
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) != 0) {
+    throw std::runtime_error("evald::Store: cannot reset " + path_);
+  }
+  std::byte header[kHeaderBytes];
+  put_u32(header, kMagic);
+  put_u32(header + 4, kFormat);
+  put_u64(header + 8, model_version_);
+  if (!write_all(fd_, header, kHeaderBytes)) {
+    throw std::runtime_error("evald::Store: cannot write header to " + path_);
+  }
+  log_bytes_ = kHeaderBytes;
+}
+
+void Store::load_log_locked() {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw std::runtime_error("evald::Store: fstat failed");
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    reset_log_locked();
+    return;
+  }
+
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (map == MAP_FAILED) throw std::runtime_error("evald::Store: mmap failed");
+  const auto* base = static_cast<const std::byte*>(map);
+
+  const bool header_ok = get_u32(base) == kMagic && get_u32(base + 4) == kFormat;
+  const bool version_ok = header_ok && get_u64(base + 8) == model_version_;
+
+  // Replay every intact record; stop at the first torn or corrupt one (a
+  // crashed writer leaves at most a broken tail) and truncate it away.
+  std::size_t pos = kHeaderBytes;
+  std::size_t valid_end = kHeaderBytes;
+  std::uint64_t replayed = 0;
+  while (header_ok && pos + 4 <= size) {
+    const std::uint32_t payload_len = get_u32(base + pos);
+    if (payload_len < kRecHeader || payload_len > kMaxRecordPayload) break;
+    if (pos + 4 + payload_len + 4 > size) break;  // torn tail
+    const std::byte* payload = base + pos + 4;
+    const std::uint32_t stored_crc = get_u32(payload + payload_len);
+    if (mp::crc32({payload, payload_len}) != stored_crc) break;
+
+    const std::uint8_t kind = static_cast<std::uint8_t>(payload[0]);
+    const std::uint64_t key = get_u64(payload + 1);
+    const std::uint32_t spec_len = get_u32(payload + 9);
+    const std::uint32_t result_len = get_u32(payload + 13);
+    if (kRecHeader + static_cast<std::uint64_t>(spec_len) + result_len != payload_len) break;
+    const std::byte* spec = payload + kRecHeader;
+    const std::byte* result = spec + spec_len;
+
+    pos += 4 + payload_len + 4;
+    valid_end = pos;
+    ++replayed;
+    if (!version_ok) continue;  // stale store: count and discard below
+
+    if (kind == kRecEntry || kind == kRecNegative) {
+      insert_locked(key, {spec, spec_len}, {result, result_len}, kind == kRecNegative,
+                    /*persist=*/false);
+    } else if (kind == kRecTombstone) {
+      erase_locked(key, {spec, spec_len}, /*persist=*/false);
+    }
+  }
+  ::munmap(map, size);
+
+  if (!version_ok || !header_ok) {
+    // Different model version (or foreign file): never serve its bytes.
+    stats_.discarded_stale += replayed;
+    reset_log_locked();
+    return;
+  }
+  stats_.recovered = live_;
+  if (valid_end != size) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      throw std::runtime_error("evald::Store: cannot truncate torn tail of " + path_);
+    }
+  }
+  if (::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    throw std::runtime_error("evald::Store: lseek failed on " + path_);
+  }
+  log_bytes_ = valid_end;
+}
+
+void Store::append_record_locked(std::uint8_t kind, std::uint64_t key,
+                                 std::span<const std::byte> spec,
+                                 std::span<const std::byte> result) {
+  if (fd_ < 0) return;
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(kRecHeader + spec.size() + result.size());
+  std::vector<std::byte> buf(4 + payload_len + 4);
+  put_u32(buf.data(), payload_len);
+  std::byte* p = buf.data() + 4;
+  p[0] = static_cast<std::byte>(kind);
+  put_u64(p + 1, key);
+  put_u32(p + 9, static_cast<std::uint32_t>(spec.size()));
+  put_u32(p + 13, static_cast<std::uint32_t>(result.size()));
+  std::memcpy(p + kRecHeader, spec.data(), spec.size());
+  if (!result.empty()) std::memcpy(p + kRecHeader + spec.size(), result.data(), result.size());
+  put_u32(p + payload_len, mp::crc32({p, payload_len}));
+  if (!write_all(fd_, buf.data(), buf.size())) {
+    throw std::runtime_error("evald::Store: append failed on " + path_);
+  }
+  log_bytes_ += buf.size();
+}
+
+std::size_t Store::probe_locked(std::uint64_t key, std::span<const std::byte> spec) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(key) & mask;
+  std::size_t steps = 0;
+  for (;;) {
+    const Slot& s = slots_[i];
+    if (s.record == Slot::kEmpty) break;
+    if (s.key == key) {
+      const Record& r = records_[s.record];
+      if (r.spec.size() == spec.size() &&
+          std::memcmp(r.spec.data(), spec.data(), spec.size()) == 0) {
+        break;
+      }
+    }
+    i = (i + 1) & mask;
+    ++steps;
+  }
+  if (steps > 0) {
+    const std::scoped_lock lock(stats_mu_);
+    stats_.probe_steps += steps;
+  }
+  return i;
+}
+
+void Store::grow_index_locked() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.record == Slot::kEmpty || records_[s.record].dead) continue;
+    std::size_t i = static_cast<std::size_t>(s.key) & mask;
+    while (slots_[i].record != Slot::kEmpty) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+std::optional<Cached> Store::lookup(std::uint64_t key, std::span<const std::byte> spec) const {
+  {
+    const std::shared_lock lock(mu_);
+    const std::size_t i = probe_locked(key, spec);
+    const Slot& s = slots_[i];
+    if (s.record != Slot::kEmpty && !records_[s.record].dead) {
+      const Record& r = records_[s.record];
+      Cached out{r.result, r.negative};
+      const std::scoped_lock stats_lock(stats_mu_);
+      ++stats_.hits;
+      if (r.negative) ++stats_.negative_hits;
+      return out;
+    }
+  }
+  const std::scoped_lock stats_lock(stats_mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void Store::insert_locked(std::uint64_t key, std::span<const std::byte> spec,
+                          std::span<const std::byte> result, bool negative, bool persist) {
+  if (live_ + 1 > slots_.size() * 7 / 10) grow_index_locked();
+  const std::size_t i = probe_locked(key, spec);
+  Slot& s = slots_[i];
+  if (s.record != Slot::kEmpty) {
+    Record& r = records_[s.record];
+    if (!r.dead) return;  // first writer wins; results are deterministic
+    // Revive an invalidated entry in place (keeps the probe chain intact;
+    // erase already cleared its negative flag and count).
+    r.result.assign(result.begin(), result.end());
+    r.negative = negative;
+    r.dead = false;
+  } else {
+    Record r;
+    r.spec.assign(spec.begin(), spec.end());
+    r.result.assign(result.begin(), result.end());
+    r.negative = negative;
+    s.key = key;
+    s.record = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(std::move(r));
+  }
+  ++live_;
+  if (negative) ++negative_;
+  if (persist) append_record_locked(negative ? kRecNegative : kRecEntry, key, spec, result);
+}
+
+void Store::insert(std::uint64_t key, std::span<const std::byte> spec,
+                   std::span<const std::byte> result, bool negative) {
+  const std::unique_lock lock(mu_);
+  const std::size_t before = live_;
+  insert_locked(key, spec, result, negative, /*persist=*/true);
+  if (live_ != before) {
+    const std::scoped_lock stats_lock(stats_mu_);
+    ++stats_.inserts;
+  }
+}
+
+bool Store::erase_locked(std::uint64_t key, std::span<const std::byte> spec, bool persist) {
+  const std::size_t i = probe_locked(key, spec);
+  const Slot& s = slots_[i];
+  if (s.record == Slot::kEmpty || records_[s.record].dead) return false;
+  Record& r = records_[s.record];
+  r.dead = true;
+  r.result.clear();
+  r.result.shrink_to_fit();
+  --live_;
+  if (r.negative) {
+    --negative_;
+    r.negative = false;
+  }
+  if (persist) append_record_locked(kRecTombstone, key, spec, {});
+  return true;
+}
+
+bool Store::invalidate(std::uint64_t key, std::span<const std::byte> spec) {
+  const std::unique_lock lock(mu_);
+  const bool erased = erase_locked(key, spec, /*persist=*/true);
+  if (erased) {
+    const std::scoped_lock stats_lock(stats_mu_);
+    ++stats_.invalidated;
+  }
+  return erased;
+}
+
+std::uint64_t Store::invalidate_all() {
+  const std::unique_lock lock(mu_);
+  const std::uint64_t dropped = live_;
+  slots_.assign(64, Slot{});
+  records_.clear();
+  live_ = 0;
+  negative_ = 0;
+  reset_log_locked();
+  const std::scoped_lock stats_lock(stats_mu_);
+  stats_.invalidated += dropped;
+  return dropped;
+}
+
+StoreStats Store::stats() const {
+  const std::shared_lock lock(mu_);
+  const std::scoped_lock stats_lock(stats_mu_);
+  StoreStats out = stats_;
+  out.entries = live_;
+  out.negative_entries = negative_;
+  out.log_bytes = log_bytes_;
+  return out;
+}
+
+std::size_t Store::entries() const {
+  const std::shared_lock lock(mu_);
+  return live_;
+}
+
+}  // namespace pdc::evald

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "eval/paper_data.hpp"
@@ -264,6 +265,47 @@ TEST(SweepDeterminism, TraceStreamsAreBitIdenticalAcrossThreadCounts) {
             << "cell " << i << " record " << r << " at " << threads << " threads";
       }
     }
+  }
+}
+
+TEST(SweepTelemetry, ConcurrentSweepsKeepTheirOwnStats) {
+  // Regression: the last_sweep_*_stats() accessors used to read global
+  // aggregates, so a clean sweep racing a faulted sweep on another thread
+  // (exactly what the evaluation daemon does) could observe the other
+  // request's injected-fault counters. Each accessor now reports the last
+  // sweep *submitted from the calling thread*; a clean sweep must read
+  // zero injected frames no matter what runs next door.
+  std::vector<TplCell> faulty_cells, clean_cells;
+  for (std::int64_t bytes : {256, 1024, 4096}) {
+    TplCell c;
+    c.bytes = bytes;
+    c.faults = fault::FaultPlan::uniform(0.05, 0.0, 0.0, 0.0, sim::microseconds(100), 0xF457);
+    faulty_cells.push_back(c);
+    c.faults = {};
+    clean_cells.push_back(c);
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> ready{0};
+    SweepFaultStats clean_seen{}, faulty_seen{};
+    std::thread faulty([&] {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {}
+      (void)sweep_tpl_ms(faulty_cells, 2);
+      faulty_seen = last_sweep_fault_stats();
+    });
+    std::thread clean([&] {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {}
+      (void)sweep_tpl_ms(clean_cells, 2);
+      clean_seen = last_sweep_fault_stats();
+    });
+    faulty.join();
+    clean.join();
+    EXPECT_GT(faulty_seen.injected.frames, 0) << "round " << round;
+    EXPECT_EQ(clean_seen.injected.frames, 0) << "round " << round;
+    EXPECT_EQ(clean_seen.injected.drops, 0) << "round " << round;
+    EXPECT_EQ(clean_seen.transport.retransmits, 0) << "round " << round;
   }
 }
 

@@ -1,0 +1,102 @@
+// pdceval -- cell-spec argument parsing shared by the CLIs.
+//
+// pdctrace, pdcsched and pdceval all turn the same flag vocabulary
+// (tool / platform / primitive / app names, compact T:P:W:B:N cell
+// specs) into cell structs; this header is the one copy of that
+// mapping. Platform names cover both the paper's six hosts and the
+// three synthetic cluster fabrics -- tools that only accept a subset
+// (pdcsched wants a cluster) check with is_cluster_platform() after
+// parsing rather than keeping a private name table.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/cell.hpp"
+
+namespace pdc::tools {
+
+[[nodiscard]] inline bool parse_tool(const std::string& s, mp::ToolKind& out) {
+  if (s == "p4") out = mp::ToolKind::P4;
+  else if (s == "pvm") out = mp::ToolKind::Pvm;
+  else if (s == "express") out = mp::ToolKind::Express;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] inline bool parse_platform(const std::string& s, host::PlatformId& out) {
+  using host::PlatformId;
+  if (s == "ethernet") out = PlatformId::SunEthernet;
+  else if (s == "atmlan") out = PlatformId::SunAtmLan;
+  else if (s == "atmwan") out = PlatformId::SunAtmWan;
+  else if (s == "fddi") out = PlatformId::AlphaFddi;
+  else if (s == "sp1switch") out = PlatformId::Sp1Switch;
+  else if (s == "sp1ethernet") out = PlatformId::Sp1Ethernet;
+  else if (s == "flat") out = PlatformId::ClusterFlat;
+  else if (s == "fattree") out = PlatformId::ClusterFatTree;
+  else if (s == "dragonfly") out = PlatformId::ClusterDragonfly;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] inline bool is_cluster_platform(host::PlatformId p) {
+  return p == host::PlatformId::ClusterFlat || p == host::PlatformId::ClusterFatTree ||
+         p == host::PlatformId::ClusterDragonfly;
+}
+
+inline constexpr const char* kPlatformNames =
+    "ethernet|atmlan|atmwan|fddi|sp1switch|sp1ethernet|flat|fattree|dragonfly";
+
+[[nodiscard]] inline bool parse_primitive(const std::string& s, eval::Primitive& out) {
+  using eval::Primitive;
+  if (s == "sendrecv") out = Primitive::SendRecv;
+  else if (s == "broadcast") out = Primitive::Broadcast;
+  else if (s == "ring") out = Primitive::Ring;
+  else if (s == "globalsum") out = Primitive::GlobalSum;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] inline bool parse_app(const std::string& s, eval::AppKind& out) {
+  using eval::AppKind;
+  if (s == "jpeg") out = AppKind::Jpeg;
+  else if (s == "fft") out = AppKind::Fft2d;
+  else if (s == "mc") out = AppKind::MonteCarlo;
+  else if (s == "psrs") out = AppKind::Psrs;
+  else return false;
+  return true;
+}
+
+/// tool:platform:primitive-or-app:bytes:procs ("p4:ethernet:sendrecv:1:2").
+/// Empty trailing fields keep whatever defaults the cells carry in.
+/// The tool/platform/procs fields land in BOTH cells so the caller can
+/// pick either by `is_app`.
+[[nodiscard]] inline bool parse_cell_spec(const std::string& spec, eval::TplCell& tpl,
+                                          eval::AppCell& app, bool& is_app) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ':')) parts.push_back(part);
+  if (parts.size() < 3 || parts.size() > 5) return false;
+  if (!parse_tool(parts[0], tpl.tool)) return false;
+  if (!parse_platform(parts[1], tpl.platform)) return false;
+  if (parse_primitive(parts[2], tpl.primitive)) {
+    is_app = false;
+  } else if (parse_app(parts[2], app.app)) {
+    is_app = true;
+  } else {
+    return false;
+  }
+  app.tool = tpl.tool;
+  app.platform = tpl.platform;
+  if (parts.size() > 3 && !parts[3].empty()) tpl.bytes = std::atoll(parts[3].c_str());
+  if (parts.size() > 4 && !parts[4].empty()) {
+    tpl.procs = std::atoi(parts[4].c_str());
+    app.procs = tpl.procs;
+  }
+  return true;
+}
+
+}  // namespace pdc::tools

@@ -1,0 +1,266 @@
+// pdceval -- pdceval: client for the pdcevald evaluation service.
+//
+//   pdceval --tool p4 --platform ethernet --primitive sendrecv --bytes 4096
+//   pdceval --cell pvm:fddi:fft::4
+//   pdceval --sched --platform flat --nodes 64 --jobs 24
+//   pdceval --warm table3        # execute-and-cache the Table 3 grid
+//   pdceval --stats
+//   pdceval --invalidate --cell p4:ethernet:sendrecv:1:2
+//   pdceval --invalidate-all
+//
+// Every answer is printed with its origin -- cache, computed, or
+// negative-cache -- so scripts (and the CI smoke job) can assert that a
+// repeated sweep is served from memory rather than re-simulated.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "cell_args.hpp"
+#include "evald/client.hpp"
+
+namespace {
+
+using pdc::eval::CellSpec;
+using pdc::eval::CellStatus;
+using pdc::evald::Origin;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "pdceval: look up evaluation cells in a pdcevald daemon\n"
+               "  --server PATH            daemon socket (default /tmp/pdcevald.sock)\n"
+               "  --tool p4|pvm|express    cell flags, as pdctrace\n"
+               "  --platform %s\n"
+               "  --primitive sendrecv|broadcast|ring|globalsum   (TPL cell)\n"
+               "  --app jpeg|fft|mc|psrs                          (APL cell)\n"
+               "  --bytes N --procs N --ints N\n"
+               "  --drop R --corrupt R --dup R --seed S           fault plan\n"
+               "  --cell T:P:W:B:N         compact cell spec\n"
+               "  --sched                  scheduling cell, with pdcsched flags\n"
+               "    --nodes N --jobs N --rate R --users N --policy backfill|fifo --aging P\n"
+               "  --warm table3            execute-and-cache the Table 3 grid\n"
+               "  --stats                  print daemon counters\n"
+               "  --invalidate             drop the selected cell from the store\n"
+               "  --invalidate-all         drop the whole store\n"
+               "  --ping                   liveness probe\n",
+               pdc::tools::kPlatformNames);
+  std::exit(code);
+}
+
+const char* origin_name(Origin o) {
+  switch (o) {
+    case Origin::Cache: return "cache";
+    case Origin::Computed: return "computed";
+    case Origin::NegativeCache: return "negative-cache";
+  }
+  return "?";
+}
+
+void print_outcome(const CellSpec& spec, const pdc::evald::Client::Outcome& out) {
+  const pdc::eval::CellResult& r = out.result;
+  switch (r.status) {
+    case CellStatus::Error:
+      std::printf("[%s] error: %s\n", origin_name(out.origin), r.error.c_str());
+      return;
+    case CellStatus::Unsupported:
+      std::printf("[%s] not available in this tool\n", origin_name(out.origin));
+      return;
+    case CellStatus::Ok:
+      break;
+  }
+  switch (spec.type) {
+    case pdc::eval::CellType::Tpl:
+      std::printf("[%s] %s on %s, %s, %lld bytes, procs %d -> %.6f simulated ms\n",
+                  origin_name(out.origin), pdc::mp::to_string(spec.tpl.tool),
+                  pdc::host::to_string(spec.tpl.platform),
+                  pdc::eval::to_string(spec.tpl.primitive),
+                  static_cast<long long>(spec.tpl.bytes), spec.tpl.procs, r.tpl_ms);
+      break;
+    case pdc::eval::CellType::App:
+      std::printf("[%s] %s on %s, app %s, procs %d -> %.6f simulated s\n",
+                  origin_name(out.origin), pdc::mp::to_string(spec.app.tool),
+                  pdc::host::to_string(spec.app.platform), pdc::eval::to_string(spec.app.app),
+                  spec.app.procs, r.app_s);
+      break;
+    case pdc::eval::CellType::Sched: {
+      const pdc::sched::ScheduleOutcome& s = r.sched.schedule;
+      std::printf("[%s] %s, %d nodes, %d jobs -> completed %d rejected %d makespan %.3f ms "
+                  "utilization %.1f%%\n",
+                  origin_name(out.origin), pdc::host::to_string(spec.sched.platform),
+                  spec.sched.nodes, spec.sched.njobs, s.completed, s.rejected,
+                  s.makespan.millis(), 100.0 * s.utilization);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server = "/tmp/pdcevald.sock";
+  pdc::eval::TplCell tpl;
+  tpl.bytes = 1;
+  tpl.procs = 2;
+  pdc::eval::AppCell app;
+  app.procs = 2;
+  pdc::eval::SchedCell sched;
+  bool is_app = false;
+  bool is_sched = false;
+  bool have_cell = false;
+  bool do_stats = false;
+  bool do_ping = false;
+  bool do_invalidate = false;
+  bool do_invalidate_all = false;
+  std::string warm_sweep;
+  double drop = 0.0, corrupt = 0.0, duplicate = 0.0;
+  std::uint64_t seed = 0xFA17;
+  bool have_seed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pdceval: %s needs a value\n", arg.c_str());
+        usage(2);
+      }
+      return argv[++i];
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--server") server = value();
+    else if (arg == "--tool") { ok = pdc::tools::parse_tool(value(), tpl.tool); app.tool = tpl.tool; have_cell = true; }
+    else if (arg == "--platform") {
+      ok = pdc::tools::parse_platform(value(), tpl.platform);
+      app.platform = tpl.platform;
+      sched.platform = tpl.platform;
+      have_cell = true;
+    }
+    else if (arg == "--primitive") { ok = pdc::tools::parse_primitive(value(), tpl.primitive); is_app = false; have_cell = true; }
+    else if (arg == "--app") { ok = pdc::tools::parse_app(value(), app.app); is_app = true; have_cell = true; }
+    else if (arg == "--bytes") { tpl.bytes = std::atoll(value().c_str()); have_cell = true; }
+    else if (arg == "--procs") { tpl.procs = std::atoi(value().c_str()); app.procs = tpl.procs; have_cell = true; }
+    else if (arg == "--ints") { tpl.global_sum_ints = std::atoll(value().c_str()); have_cell = true; }
+    else if (arg == "--drop") drop = std::atof(value().c_str());
+    else if (arg == "--corrupt") corrupt = std::atof(value().c_str());
+    else if (arg == "--dup") duplicate = std::atof(value().c_str());
+    else if (arg == "--seed") { seed = std::strtoull(value().c_str(), nullptr, 0); have_seed = true; }
+    else if (arg == "--cell") { ok = pdc::tools::parse_cell_spec(value(), tpl, app, is_app); have_cell = true; }
+    else if (arg == "--sched") { is_sched = true; have_cell = true; }
+    else if (arg == "--nodes") sched.nodes = std::atoi(value().c_str());
+    else if (arg == "--jobs") sched.njobs = std::atoi(value().c_str());
+    else if (arg == "--rate") sched.arrival_rate_hz = std::atof(value().c_str());
+    else if (arg == "--users") sched.users = std::atoi(value().c_str());
+    else if (arg == "--policy") {
+      const std::string p = value();
+      if (p == "backfill") sched.policy.backfill = true;
+      else if (p == "fifo") sched.policy.backfill = false;
+      else ok = false;
+    }
+    else if (arg == "--aging") sched.policy.aging_per_sec = std::atoll(value().c_str());
+    else if (arg == "--warm") warm_sweep = value();
+    else if (arg == "--stats") do_stats = true;
+    else if (arg == "--invalidate") do_invalidate = true;
+    else if (arg == "--invalidate-all") do_invalidate_all = true;
+    else if (arg == "--ping") do_ping = true;
+    else {
+      std::fprintf(stderr, "pdceval: unknown option %s\n", arg.c_str());
+      usage(2);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "pdceval: bad value for %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (drop > 0.0 || corrupt > 0.0 || duplicate > 0.0) {
+    const auto plan = pdc::fault::FaultPlan::uniform(drop, corrupt, duplicate, 0.0,
+                                                     pdc::sim::microseconds(500), seed);
+    tpl.faults = plan;
+    app.faults = plan;
+    sched.faults = plan;
+  }
+  if (is_sched && have_seed) sched.seed = seed;
+  if (is_sched && !pdc::tools::is_cluster_platform(sched.platform)) {
+    std::fprintf(stderr, "pdceval: --sched needs a cluster platform (flat|fattree|dragonfly)\n");
+    usage(2);
+  }
+
+  CellSpec spec = is_sched ? CellSpec::of(sched)
+                : is_app   ? CellSpec::of(app)
+                           : CellSpec::of(tpl);
+
+  try {
+    pdc::evald::Client client(server);
+
+    if (do_ping) {
+      std::printf(client.ping() ? "pong\n" : "no pong\n");
+      return 0;
+    }
+    if (do_invalidate_all) {
+      std::printf("invalidated %llu entries\n",
+                  static_cast<unsigned long long>(client.invalidate_all()));
+      return 0;
+    }
+    if (do_invalidate) {
+      if (!have_cell) {
+        std::fprintf(stderr, "pdceval: --invalidate needs a cell spec\n");
+        usage(2);
+      }
+      std::printf(client.invalidate(spec) ? "invalidated\n" : "not cached\n");
+      return 0;
+    }
+    if (!warm_sweep.empty()) {
+      if (warm_sweep != "table3") {
+        std::fprintf(stderr, "pdceval: unknown sweep %s (try table3)\n", warm_sweep.c_str());
+        usage(2);
+      }
+      const std::vector<CellSpec> grid = pdc::eval::table3_grid();
+      const std::vector<Origin> origins = client.warm(grid);
+      std::size_t cached = 0, computed = 0, negative = 0;
+      for (const Origin o : origins) {
+        if (o == Origin::Computed) ++computed;
+        else if (o == Origin::NegativeCache) ++negative;
+        else ++cached;
+      }
+      std::printf("warm %s: %zu cells, %zu cached, %zu negative-cached, %zu computed "
+                  "(%.1f%% served from cache)\n",
+                  warm_sweep.c_str(), origins.size(), cached, negative, computed,
+                  origins.empty() ? 0.0
+                                  : 100.0 * static_cast<double>(cached + negative) /
+                                        static_cast<double>(origins.size()));
+      return 0;
+    }
+    if (do_stats) {
+      const pdc::evald::DaemonStats s = client.stats();
+      std::printf("model version  %llu\n", static_cast<unsigned long long>(s.model_version));
+      std::printf("entries        %llu (%llu negative)\n",
+                  static_cast<unsigned long long>(s.entries),
+                  static_cast<unsigned long long>(s.negative_entries));
+      std::printf("hits           %llu (%llu negative)\n",
+                  static_cast<unsigned long long>(s.hits),
+                  static_cast<unsigned long long>(s.negative_hits));
+      std::printf("misses         %llu\n", static_cast<unsigned long long>(s.misses));
+      std::printf("inserts        %llu\n", static_cast<unsigned long long>(s.inserts));
+      std::printf("invalidated    %llu\n", static_cast<unsigned long long>(s.invalidated));
+      std::printf("log bytes      %llu\n", static_cast<unsigned long long>(s.log_bytes));
+      std::printf("recovered      %llu\n", static_cast<unsigned long long>(s.recovered));
+      std::printf("requests       %llu\n", static_cast<unsigned long long>(s.requests));
+      std::printf("cells served   %llu (%llu computed)\n",
+                  static_cast<unsigned long long>(s.cells_served),
+                  static_cast<unsigned long long>(s.cells_computed));
+      std::printf("connections    %llu\n", static_cast<unsigned long long>(s.connections));
+      std::printf("frame errors   %llu\n", static_cast<unsigned long long>(s.frame_errors));
+      return 0;
+    }
+    if (!have_cell) {
+      std::fprintf(stderr, "pdceval: nothing to do (give a cell, --warm, --stats or --ping)\n");
+      usage(2);
+    }
+    print_outcome(spec, client.lookup(spec));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pdceval: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "cell_args.hpp"
 #include "eval/sched_cell.hpp"
 
 namespace {
@@ -32,15 +33,6 @@ namespace {
   std::exit(code);
 }
 
-[[nodiscard]] bool parse_platform(const std::string& s, pdc::host::PlatformId& out) {
-  using pdc::host::PlatformId;
-  if (s == "flat") out = PlatformId::ClusterFlat;
-  else if (s == "fattree") out = PlatformId::ClusterFatTree;
-  else if (s == "dragonfly") out = PlatformId::ClusterDragonfly;
-  else return false;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,7 +47,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") usage(0);
     else if (arg == "--platform") {
-      if (!parse_platform(value(), cell.platform)) usage(2);
+      // The shared parser knows all nine platform names; a scheduling cell
+      // only makes sense on a cluster fabric.
+      if (!pdc::tools::parse_platform(value(), cell.platform) ||
+          !pdc::tools::is_cluster_platform(cell.platform)) {
+        usage(2);
+      }
     } else if (arg == "--nodes") cell.nodes = std::atoi(value().c_str());
     else if (arg == "--jobs") cell.njobs = std::atoi(value().c_str());
     else if (arg == "--rate") cell.arrival_rate_hz = std::atof(value().c_str());

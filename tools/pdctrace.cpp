@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cell_args.hpp"
 #include "eval/trace_cell.hpp"
 #include "trace/analyze.hpp"
 #include "trace/export.hpp"
@@ -26,9 +27,11 @@
 namespace {
 
 using pdc::eval::AppCell;
-using pdc::eval::AppKind;
-using pdc::eval::Primitive;
 using pdc::eval::TplCell;
+using pdc::tools::parse_app;
+using pdc::tools::parse_platform;
+using pdc::tools::parse_primitive;
+using pdc::tools::parse_tool;
 
 struct Options {
   TplCell tpl;
@@ -49,7 +52,7 @@ struct Options {
   std::fprintf(stderr,
                "pdctrace: trace one evaluation cell\n"
                "  --tool p4|pvm|express         message-passing tool\n"
-               "  --platform ethernet|atmlan|atmwan|fddi|sp1switch|sp1ethernet\n"
+               "  --platform %s\n"
                "  --primitive sendrecv|broadcast|ring|globalsum   (TPL cell)\n"
                "  --app jpeg|fft|mc|psrs                          (APL cell)\n"
                "  --bytes N --procs N --ints N  cell size parameters\n"
@@ -60,46 +63,9 @@ struct Options {
                "  --report / --no-report        text analysis (default on)\n"
                "  --trace-cell T:P:W:B:N        compact cell spec (tool:platform:\n"
                "                                primitive-or-app:bytes:procs)\n"
-               "  --validate FILE               JSON-shape check an exported trace\n");
+               "  --validate FILE               JSON-shape check an exported trace\n",
+               pdc::tools::kPlatformNames);
   std::exit(code);
-}
-
-[[nodiscard]] bool parse_tool(const std::string& s, pdc::mp::ToolKind& out) {
-  if (s == "p4") out = pdc::mp::ToolKind::P4;
-  else if (s == "pvm") out = pdc::mp::ToolKind::Pvm;
-  else if (s == "express") out = pdc::mp::ToolKind::Express;
-  else return false;
-  return true;
-}
-
-[[nodiscard]] bool parse_platform(const std::string& s, pdc::host::PlatformId& out) {
-  using pdc::host::PlatformId;
-  if (s == "ethernet") out = PlatformId::SunEthernet;
-  else if (s == "atmlan") out = PlatformId::SunAtmLan;
-  else if (s == "atmwan") out = PlatformId::SunAtmWan;
-  else if (s == "fddi") out = PlatformId::AlphaFddi;
-  else if (s == "sp1switch") out = PlatformId::Sp1Switch;
-  else if (s == "sp1ethernet") out = PlatformId::Sp1Ethernet;
-  else return false;
-  return true;
-}
-
-[[nodiscard]] bool parse_primitive(const std::string& s, Primitive& out) {
-  if (s == "sendrecv") out = Primitive::SendRecv;
-  else if (s == "broadcast") out = Primitive::Broadcast;
-  else if (s == "ring") out = Primitive::Ring;
-  else if (s == "globalsum") out = Primitive::GlobalSum;
-  else return false;
-  return true;
-}
-
-[[nodiscard]] bool parse_app(const std::string& s, AppKind& out) {
-  if (s == "jpeg") out = AppKind::Jpeg;
-  else if (s == "fft") out = AppKind::Fft2d;
-  else if (s == "mc") out = AppKind::MonteCarlo;
-  else if (s == "psrs") out = AppKind::Psrs;
-  else return false;
-  return true;
 }
 
 [[nodiscard]] bool parse_categories(const std::string& list, std::uint32_t& mask) {
@@ -117,33 +83,6 @@ struct Options {
     else return false;
   }
   return mask != 0;
-}
-
-/// tool:platform:primitive-or-app:bytes:procs ("p4:ethernet:sendrecv:1:2").
-/// Empty trailing fields keep their defaults.
-[[nodiscard]] bool parse_cell_spec(const std::string& spec, Options& o) {
-  std::vector<std::string> parts;
-  std::stringstream ss(spec);
-  std::string part;
-  while (std::getline(ss, part, ':')) parts.push_back(part);
-  if (parts.size() < 3 || parts.size() > 5) return false;
-  if (!parse_tool(parts[0], o.tpl.tool)) return false;
-  if (!parse_platform(parts[1], o.tpl.platform)) return false;
-  if (parse_primitive(parts[2], o.tpl.primitive)) {
-    o.is_app = false;
-  } else if (parse_app(parts[2], o.app.app)) {
-    o.is_app = true;
-  } else {
-    return false;
-  }
-  o.app.tool = o.tpl.tool;
-  o.app.platform = o.tpl.platform;
-  if (parts.size() > 3 && !parts[3].empty()) o.tpl.bytes = std::atoll(parts[3].c_str());
-  if (parts.size() > 4 && !parts[4].empty()) {
-    o.tpl.procs = std::atoi(parts[4].c_str());
-    o.app.procs = o.tpl.procs;
-  }
-  return true;
 }
 
 [[nodiscard]] bool write_file(const std::string& path, const std::string& content) {
@@ -207,7 +146,7 @@ int main(int argc, char** argv) {
     else if (arg == "--csv") o.csv_path = next();
     else if (arg == "--report") o.report = true;
     else if (arg == "--no-report") o.report = false;
-    else if (arg == "--trace-cell") ok = parse_cell_spec(next(), o);
+    else if (arg == "--trace-cell") ok = pdc::tools::parse_cell_spec(next(), o.tpl, o.app, o.is_app);
     else if (arg == "--validate") o.validate_path = next();
     else {
       std::fprintf(stderr, "pdctrace: unknown option %s\n", arg.c_str());
