@@ -107,6 +107,10 @@ const char* to_string(FrameStatus s) {
 }
 
 bool write_frame(int fd, std::span<const std::byte> payload) {
+  // Enforce the cap on the writing side too: a frame the reader would
+  // reject (or, above 4 GiB, one whose length prefix would silently
+  // truncate) must never reach the wire.
+  if (payload.size() > kMaxFramePayload) return false;
   std::vector<std::byte> buf;
   buf.reserve(payload.size() + 8);
   put_u32(buf, static_cast<std::uint32_t>(payload.size()));

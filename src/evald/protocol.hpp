@@ -29,7 +29,11 @@ namespace pdc::evald {
 
 /// Frames above this are a protocol violation (a sweep of ~100k specs
 /// still fits comfortably); the reader rejects the prefix before
-/// allocating.
+/// allocating, and the writer refuses to send one. This bounds a batch in
+/// BOTH directions: the lookup reply carries every result for the batch
+/// in one frame, so a batch whose encoded reply would exceed the cap is
+/// answered with an Error frame -- split such sweeps into smaller
+/// batches (the computed cells are already cached, so a retry is cheap).
 inline constexpr std::uint32_t kMaxFramePayload = 32u << 20;
 
 enum class FrameStatus : std::uint8_t {
@@ -42,7 +46,8 @@ enum class FrameStatus : std::uint8_t {
 };
 [[nodiscard]] const char* to_string(FrameStatus s);
 
-/// Write one frame to `fd`; false on I/O failure (peer gone).
+/// Write one frame to `fd`; false on I/O failure (peer gone) or when the
+/// payload exceeds kMaxFramePayload (nothing is sent).
 [[nodiscard]] bool write_frame(int fd, std::span<const std::byte> payload);
 
 /// Read one frame from `fd` into `payload` (replaced). Anything but Ok

@@ -49,12 +49,15 @@ void Server::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
+  // Wake the blocked accept() but leave the fd open (and the member
+  // untouched) until the accept thread has joined: closing or overwriting
+  // listen_fd_ while accept_loop still reads it is a use-after-close race.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Connection>> conns;
   {
     const std::scoped_lock lock(conns_mu_);
@@ -135,7 +138,15 @@ bool Server::handle(int fd, const std::vector<std::byte>& payload) {
     case MsgType::Lookup: {
       const auto req = decode_lookup(payload);
       if (!req) return write_frame(fd, encode_error("malformed lookup")) && false;
-      return write_frame(fd, encode_lookup_reply(run_lookup(*req)));
+      const auto reply = encode_lookup_reply(run_lookup(*req));
+      if (reply.size() > kMaxFramePayload) {
+        // The batch's results are cached now, but the one-frame reply
+        // cannot be sent; tell the client to split the batch (a retry in
+        // smaller batches is served from cache).
+        return write_frame(fd, encode_error("lookup reply exceeds the frame cap; "
+                                            "split the batch into smaller lookups"));
+      }
+      return write_frame(fd, reply);
     }
     case MsgType::Stats:
       return write_frame(fd, encode_stats_reply(stats()));

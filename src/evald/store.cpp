@@ -170,6 +170,16 @@ void Store::append_record_locked(std::uint8_t kind, std::uint64_t key,
   if (!result.empty()) std::memcpy(p + kRecHeader + spec.size(), result.data(), result.size());
   put_u32(p + payload_len, mp::crc32({p, payload_len}));
   if (!write_all(fd_, buf.data(), buf.size())) {
+    // A partial write (e.g. ENOSPC mid-record) leaves a torn record at the
+    // tail; truncate back to the last good boundary so later appends stay
+    // replayable instead of landing after the torn record and being
+    // silently dropped at the next replay. If even the rollback fails,
+    // stop persisting -- in-memory service continues.
+    if (::ftruncate(fd_, static_cast<off_t>(log_bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(log_bytes_), SEEK_SET) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
     throw std::runtime_error("evald::Store: append failed on " + path_);
   }
   log_bytes_ += buf.size();
@@ -199,16 +209,24 @@ std::size_t Store::probe_locked(std::uint64_t key, std::span<const std::byte> sp
   return i;
 }
 
-void Store::grow_index_locked() {
+void Store::rehash_index_locked(std::size_t capacity) {
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  slots_.assign(capacity, Slot{});
   const std::size_t mask = slots_.size() - 1;
   for (const Slot& s : old) {
-    if (s.record == Slot::kEmpty || records_[s.record].dead) continue;
+    if (s.record == Slot::kEmpty) continue;
+    if (records_[s.record].dead) {
+      // The dead record loses its last reference here; release its spec
+      // bytes too (erase already released the result).
+      records_[s.record].spec.clear();
+      records_[s.record].spec.shrink_to_fit();
+      continue;
+    }
     std::size_t i = static_cast<std::size_t>(s.key) & mask;
     while (slots_[i].record != Slot::kEmpty) i = (i + 1) & mask;
     slots_[i] = s;
   }
+  occupied_ = live_;
 }
 
 std::optional<Cached> Store::lookup(std::uint64_t key, std::span<const std::byte> spec) const {
@@ -232,7 +250,16 @@ std::optional<Cached> Store::lookup(std::uint64_t key, std::span<const std::byte
 
 void Store::insert_locked(std::uint64_t key, std::span<const std::byte> spec,
                           std::span<const std::byte> result, bool negative, bool persist) {
-  if (live_ + 1 > slots_.size() * 7 / 10) grow_index_locked();
+  // The 70% threshold counts occupied slots (live + dead), not just live
+  // entries: invalidated entries keep their slots until a rehash, so an
+  // invalidate+insert churn could otherwise fill every slot while live_
+  // stays low and leave probe_locked spinning on any absent key. When the
+  // table is mostly dead, rehash at the same capacity -- that alone
+  // reclaims the dead slots.
+  if (occupied_ + 1 > slots_.size() * 7 / 10) {
+    const bool need_more = live_ + 1 > slots_.size() * 7 / 10;
+    rehash_index_locked(need_more ? slots_.size() * 2 : slots_.size());
+  }
   const std::size_t i = probe_locked(key, spec);
   Slot& s = slots_[i];
   if (s.record != Slot::kEmpty) {
@@ -251,6 +278,7 @@ void Store::insert_locked(std::uint64_t key, std::span<const std::byte> spec,
     s.key = key;
     s.record = static_cast<std::uint32_t>(records_.size());
     records_.push_back(std::move(r));
+    ++occupied_;
   }
   ++live_;
   if (negative) ++negative_;
@@ -300,6 +328,7 @@ std::uint64_t Store::invalidate_all() {
   const std::uint64_t dropped = live_;
   slots_.assign(64, Slot{});
   records_.clear();
+  occupied_ = 0;
   live_ = 0;
   negative_ = 0;
   reset_log_locked();

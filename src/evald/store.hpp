@@ -103,7 +103,9 @@ class Store {
                             std::span<const std::byte> spec,
                             std::span<const std::byte> result);
   void reset_log_locked();
-  void grow_index_locked();
+  /// Rebuild the index at `capacity` slots (a power of two), dropping dead
+  /// slots; afterwards occupied_ == live_.
+  void rehash_index_locked(std::size_t capacity);
   /// Probe for `spec`; returns the slot index holding it, or the first
   /// free slot on its probe path (key absent). Requires capacity > size.
   [[nodiscard]] std::size_t probe_locked(std::uint64_t key,
@@ -119,6 +121,7 @@ class Store {
   mutable std::shared_mutex mu_;
   std::vector<Slot> slots_;
   std::vector<Record> records_;
+  std::size_t occupied_{0};  ///< slots holding any record, live or dead
   std::size_t live_{0};
   std::size_t negative_{0};
   std::uint64_t log_bytes_{0};

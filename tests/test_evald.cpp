@@ -24,6 +24,7 @@
 #include "fault/plan.hpp"
 #include "mp/api.hpp"
 #include "mp/checksum.hpp"
+#include "../tools/cell_args.hpp"
 
 namespace pdc::evald {
 namespace {
@@ -186,6 +187,28 @@ TEST(Store, SurvivesManyEntriesAndGrowth) {
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->result, s);
   }
+}
+
+TEST(Store, InvalidateInsertChurnNeverFillsTheIndex) {
+  // Invalidated entries keep their slots until a rehash; churning far more
+  // distinct specs than the initial 64-slot capacity while live entries
+  // stay at <=1 used to fill every slot with dead records (growth
+  // triggered on live count only), after which any probe for an absent
+  // key spun forever. Occupancy-based rehashing must keep this bounded.
+  Store store;
+  for (int i = 0; i < 4096; ++i) {
+    const auto spec = as_bytes("churn-" + std::to_string(i));
+    const auto key = eval::cell_key(spec);
+    store.insert(key, spec, spec, false);
+    EXPECT_TRUE(store.invalidate(key, spec));
+  }
+  EXPECT_EQ(store.entries(), 0u);
+  const auto absent = as_bytes("never-inserted");
+  EXPECT_FALSE(store.lookup(eval::cell_key(absent), absent).has_value());
+  // And the table still works for real inserts afterwards.
+  const auto spec = as_bytes("alive-again");
+  store.insert(eval::cell_key(spec), spec, spec, false);
+  EXPECT_EQ(store.lookup(eval::cell_key(spec), spec)->result, spec);
 }
 
 TEST(Store, PersistsAcrossReopenAndTombstonesStick) {
@@ -386,6 +409,44 @@ TEST(Framing, MaximumLengthPrefixItselfIsAccepted) {
   }
   Client probe(live.path());
   EXPECT_TRUE(probe.ping());
+}
+
+TEST(Framing, WriteFrameRefusesOversizedPayload) {
+  // The cap binds on the writing side too: a frame the reader would
+  // reject must never reach the wire (and a >4 GiB payload would
+  // silently truncate its u32 length prefix).
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::vector<std::byte> too_big(static_cast<std::size_t>(kMaxFramePayload) + 1);
+  EXPECT_FALSE(write_frame(sv[0], too_big));
+  // Nothing was sent: once the writer closes, the peer sees a clean EOF
+  // rather than a partial frame.
+  ::close(sv[0]);
+  std::vector<std::byte> payload;
+  EXPECT_EQ(read_frame(sv[1], payload), FrameStatus::Eof);
+  ::close(sv[1]);
+}
+
+// -- CLI cell-spec parsing --------------------------------------------------
+
+TEST(CellArgs, RejectsNonNumericBytesAndProcs) {
+  // atoll-style parsing silently turned "abc" into 0, producing a
+  // degenerate cell spec instead of a usage error.
+  eval::TplCell tpl;
+  eval::AppCell app;
+  bool is_app = false;
+  EXPECT_TRUE(tools::parse_cell_spec("p4:ethernet:sendrecv:2048:4", tpl, app, is_app));
+  EXPECT_EQ(tpl.bytes, 2048);
+  EXPECT_EQ(tpl.procs, 4);
+  for (const char* bad :
+       {"p4:ethernet:sendrecv:abc", "p4:ethernet:sendrecv:1k:2", "p4:ethernet:sendrecv:12x:2",
+        "p4:ethernet:sendrecv:1:abc", "p4:ethernet:sendrecv:1:2x", "p4:ethernet:sendrecv:-1:2",
+        "p4:ethernet:sendrecv:1:0", "p4:ethernet:sendrecv:1:-2",
+        "p4:ethernet:sendrecv:1:99999999999"}) {
+    EXPECT_FALSE(tools::parse_cell_spec(bad, tpl, app, is_app)) << bad;
+  }
+  // Empty trailing fields still mean "keep the defaults".
+  EXPECT_TRUE(tools::parse_cell_spec("p4:ethernet:sendrecv::", tpl, app, is_app));
 }
 
 // -- end-to-end caching -----------------------------------------------------

@@ -9,7 +9,9 @@
 // parsing rather than keeping a private name table.
 #pragma once
 
-#include <cstdlib>
+#include <charconv>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -69,6 +71,14 @@ inline constexpr const char* kPlatformNames =
   return true;
 }
 
+/// Strict decimal parse of the whole string; false on any non-numeric
+/// byte (atoll-style silent zeroes would turn a typo into a degenerate
+/// cell spec instead of a usage error).
+[[nodiscard]] inline bool parse_number(const std::string& s, std::int64_t& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
 /// tool:platform:primitive-or-app:bytes:procs ("p4:ethernet:sendrecv:1:2").
 /// Empty trailing fields keep whatever defaults the cells carry in.
 /// The tool/platform/procs fields land in BOTH cells so the caller can
@@ -91,9 +101,16 @@ inline constexpr const char* kPlatformNames =
   }
   app.tool = tpl.tool;
   app.platform = tpl.platform;
-  if (parts.size() > 3 && !parts[3].empty()) tpl.bytes = std::atoll(parts[3].c_str());
+  if (parts.size() > 3 && !parts[3].empty()) {
+    if (!parse_number(parts[3], tpl.bytes) || tpl.bytes < 0) return false;
+  }
   if (parts.size() > 4 && !parts[4].empty()) {
-    tpl.procs = std::atoi(parts[4].c_str());
+    std::int64_t procs = 0;
+    if (!parse_number(parts[4], procs) || procs <= 0 ||
+        procs > std::numeric_limits<int>::max()) {
+      return false;
+    }
+    tpl.procs = static_cast<int>(procs);
     app.procs = tpl.procs;
   }
   return true;
