@@ -1,0 +1,95 @@
+// Performance-model layer costs (DESIGN 5.16). Reported per benchmark:
+//   fits_per_s   -- full 105-hypothesis lattice fits per second (seed +
+//                   Gauss-Newton refinement per hypothesis)
+//   evals_per_s  -- composed-skeleton cost evaluations per second (the
+//                   quantity a what-if sweep spends once models exist)
+//   cells_per_s  -- cross-validated cells per second, simulations included
+//
+// The interesting comparison is BM_SkeletonEval against BM_CrossValidate:
+// predicting a pattern from fitted models is microseconds while
+// simulating it is milliseconds -- that gap is the whole point of the
+// model layer.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "model/crossval.hpp"
+#include "model/model.hpp"
+#include "model/skeleton.hpp"
+
+namespace {
+
+using namespace pdc;
+using model::Hypothesis;
+using model::Observation;
+using model::ProcTerm;
+
+std::vector<Observation> synthetic_grid() {
+  const Hypothesis truth{1.0, 0, ProcTerm::CeilLogP};
+  std::vector<Observation> obs;
+  for (double n : {256.0, 1024.0, 3072.0, 4096.0, 8192.0, 16384.0}) {
+    for (double p : {2.0, 3.0, 4.0, 6.0, 8.0, 16.0}) {
+      obs.push_back(
+          {n, p, 0.1 + (0.05 + 2e-5 * n) * model::proc_term_value(truth.proc, p)});
+    }
+  }
+  return obs;
+}
+
+void BM_FitLattice(benchmark::State& state) {
+  const auto obs = synthetic_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::fit_model(obs));
+  }
+  state.counters["fits_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["observations"] = static_cast<double>(obs.size());
+}
+BENCHMARK(BM_FitLattice);
+
+void BM_SkeletonEval(benchmark::State& state) {
+  const model::FittedModel leaf = model::fit_model(synthetic_grid());
+  model::PatternLeaves leaves;
+  leaves.sendrecv = leaf;
+  const model::Skeleton skel = model::pattern_skeleton(
+      model::PatternKind::Pipeline, leaves, 4096, 8, 16, 0, 0.05, false);
+  double n = 4096.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skel.cost_ms(n, 8.0));
+    n += 1.0;  // defeat value memoisation without branching
+  }
+  state.counters["evals_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SkeletonEval);
+
+void BM_CrossValidatePrimitive(benchmark::State& state) {
+  model::TrainGrid train;
+  train.sizes = {256, 1024, 4096, 16384};
+  const std::vector<model::HoldoutPoint> holdout = {{3072, 2}, {32768, 2}};
+  const auto measure = model::direct_measure(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::cross_validate_primitive(
+        mp::ToolKind::P4, host::PlatformId::ClusterFlat, eval::Primitive::SendRecv,
+        train, holdout, measure));
+  }
+  state.counters["cells_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CrossValidatePrimitive);
+
+void BM_DefaultSuite(benchmark::State& state) {
+  const auto measure = model::direct_measure(0);
+  for (auto _ : state) {
+    const model::SuiteReport suite = model::run_default_suite(measure);
+    benchmark::DoNotOptimize(suite.worst_primitive_median());
+  }
+}
+BENCHMARK(BM_DefaultSuite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,350 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace pdc::model {
+
+namespace {
+
+constexpr double kTinyPred = 1e-12;  // floor under log() arguments
+
+/// log2 with the argument clamped to >= 2: a 0- or 1-sized problem must
+/// contribute a finite, non-negative factor, not -inf or a term-killing 0.
+[[nodiscard]] double log2_clamped(double x) { return std::log2(std::max(x, 2.0)); }
+
+}  // namespace
+
+const char* to_string(ProcTerm f) {
+  switch (f) {
+    case ProcTerm::One: return "1";
+    case ProcTerm::P: return "P";
+    case ProcTerm::PMinus1: return "(P-1)";
+    case ProcTerm::LogP: return "log2(P)";
+    case ProcTerm::CeilLogP: return "ceil(log2(P))";
+    case ProcTerm::PLogP: return "P*log2(P)";
+    case ProcTerm::SqrtP: return "sqrt(P)";
+  }
+  return "?";
+}
+
+double proc_term_value(ProcTerm f, double p) {
+  const double pc = std::max(p, 1.0);
+  switch (f) {
+    case ProcTerm::One: return 1.0;
+    case ProcTerm::P: return pc;
+    case ProcTerm::PMinus1: return std::max(pc - 1.0, 1.0);
+    case ProcTerm::LogP: return log2_clamped(pc);
+    case ProcTerm::CeilLogP: return std::ceil(log2_clamped(pc));
+    case ProcTerm::PLogP: return pc * log2_clamped(pc);
+    case ProcTerm::SqrtP: return std::sqrt(pc);
+  }
+  return 1.0;
+}
+
+double Hypothesis::size_basis(double n) const {
+  const double nc = std::max(n, 1.0);
+  double v = 1.0;
+  if (n_exp != 0.0) v *= std::pow(nc, n_exp);
+  if (log_exp != 0) v *= std::pow(log2_clamped(nc), static_cast<double>(log_exp));
+  return v;
+}
+
+double Hypothesis::basis(double n, double p) const {
+  return size_basis(n) * proc_term_value(proc, p);
+}
+
+std::string Hypothesis::size_to_string() const {
+  std::string s;
+  auto append = [&s](const std::string& part) {
+    if (!s.empty()) s += " * ";
+    s += part;
+  };
+  if (n_exp != 0.0) {
+    char buf[32];
+    if (n_exp == 1.0) std::snprintf(buf, sizeof buf, "N");
+    else std::snprintf(buf, sizeof buf, "N^%g", n_exp);
+    append(buf);
+  }
+  if (log_exp == 1) append("log2(N)");
+  else if (log_exp > 1) append("log2(N)^" + std::to_string(log_exp));
+  return s.empty() ? "1" : s;
+}
+
+std::string Hypothesis::to_string() const {
+  std::string s = size_to_string();
+  if (s == "1") s.clear();
+  if (proc != ProcTerm::One) {
+    if (!s.empty()) s += " * ";
+    s += model::to_string(proc);
+  }
+  return s.empty() ? "1" : s;
+}
+
+const std::vector<Hypothesis>& hypothesis_lattice() {
+  static const std::vector<Hypothesis> kLattice = [] {
+    std::vector<Hypothesis> l;
+    // Constant-first so the tie-break prefers the simplest shape, then
+    // proc-term-major: within one f(P) the size terms grow monotonically.
+    const ProcTerm procs[] = {ProcTerm::One, ProcTerm::LogP,    ProcTerm::CeilLogP,
+                              ProcTerm::SqrtP, ProcTerm::PMinus1, ProcTerm::P,
+                              ProcTerm::PLogP};
+    const double n_exps[] = {0.0, 0.5, 1.0, 1.5, 2.0};
+    const int log_exps[] = {0, 1, 2};
+    for (ProcTerm f : procs) {
+      for (double a : n_exps) {
+        for (int b : log_exps) l.push_back({a, b, f});
+      }
+    }
+    return l;
+  }();
+  return kLattice;
+}
+
+double FittedModel::predict_ms(double n, double p) const {
+  return c0 + c1 * proc_term_value(term.proc, p) + c2 * term.basis(n, p);
+}
+
+std::string FittedModel::to_string() const {
+  char buf[224];
+  if (c1 != 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "t(N,P) = %.6e + (%.6e + %.6e * %s) * %s  [mslr %.3e, %zu pts]", c0,
+                  c1, c2, term.size_to_string().c_str(),
+                  model::to_string(term.proc), score, points);
+  } else {
+    std::snprintf(buf, sizeof buf, "t(N,P) = %.6e + %.6e * %s  [mslr %.3e, %zu pts]",
+                  c0, c2, term.to_string().c_str(), score, points);
+  }
+  return buf;
+}
+
+namespace {
+
+/// Sum of squared log residuals of t ~ c0 + c1*f + c2*g over the fit set,
+/// in fixed observation order.
+[[nodiscard]] double log_cost(std::span<const Observation> obs,
+                              std::span<const double> f, std::span<const double> g,
+                              double c0, double c1, double c2) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const double pred = std::max(c0 + c1 * f[i] + c2 * g[i], kTinyPred);
+    const double r = std::log(pred) - std::log(obs[i].t_ms);
+    cost += r * r;
+  }
+  return cost;
+}
+
+struct Candidate {
+  double c0{0.0};
+  double c1{0.0};
+  double c2{0.0};
+  double cost{std::numeric_limits<double>::infinity()};
+};
+
+[[nodiscard]] long double det3(const long double a[3][3]) {
+  return a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+         a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+         a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+}
+
+/// Solve the k x k (k in {2, 3}) symmetric positive-semidefinite system
+/// A x = b by Cramer's rule in long double. The normal matrices here are
+/// Gram matrices, so by Hadamard's inequality det(A) <= prod(diag); a
+/// determinant below 1e-12 of that product means two columns are (near)
+/// collinear -- e.g. f(P) against the all-ones column on a single-P grid
+/// -- and the caller must drop a column rather than amplify noise.
+[[nodiscard]] bool solve_spd(const long double A[3][3], const long double b[3], int k,
+                             double out[3]) {
+  long double diag = 1.0L;
+  for (int i = 0; i < k; ++i) diag *= A[i][i];
+  long double det;
+  if (k == 3) {
+    det = det3(A);
+  } else {
+    det = A[0][0] * A[1][1] - A[0][1] * A[1][0];
+  }
+  if (!(fabsl(det) > 1e-12L * fabsl(diag))) return false;
+  if (k == 3) {
+    for (int j = 0; j < 3; ++j) {
+      long double Aj[3][3];
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) Aj[r][c] = (c == j) ? b[r] : A[r][c];
+      }
+      out[j] = static_cast<double>(det3(Aj) / det);
+    }
+  } else {
+    out[0] = static_cast<double>((A[1][1] * b[0] - A[0][1] * b[1]) / det);
+    out[1] = static_cast<double>((A[0][0] * b[1] - A[1][0] * b[0]) / det);
+    out[2] = 0.0;
+  }
+  return true;
+}
+
+/// Closed-form ordinary least squares of t ~ c0 + c1*f + c2*g (normal
+/// equations, long-double accumulators, fixed order). Deterministic
+/// fallback chain on singular systems: drop the per-operation column
+/// (c1 = 0), then fall back to the constant model (all g equal too).
+[[nodiscard]] Candidate linear_seed(std::span<const Observation> obs,
+                                    std::span<const double> f,
+                                    std::span<const double> g, bool use_f) {
+  long double sf = 0.0L, sg = 0.0L, sff = 0.0L, sfg = 0.0L, sgg = 0.0L;
+  long double st = 0.0L, sft = 0.0L, sgt = 0.0L;
+  const long double n = static_cast<long double>(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const long double fi = f[i];
+    const long double gi = g[i];
+    const long double ti = obs[i].t_ms;
+    sf += fi;
+    sff += fi * fi;
+    sfg += fi * gi;
+    sg += gi;
+    sgg += gi * gi;
+    st += ti;
+    sft += fi * ti;
+    sgt += gi * ti;
+  }
+  Candidate c;
+  double x[3];
+  bool solved = false;
+  if (use_f) {
+    const long double A[3][3] = {{n, sf, sg}, {sf, sff, sfg}, {sg, sfg, sgg}};
+    const long double b[3] = {st, sft, sgt};
+    if (solve_spd(A, b, 3, x)) {
+      c.c0 = x[0];
+      c.c1 = x[1];
+      c.c2 = x[2];
+      solved = true;
+    }
+  }
+  if (!solved) {
+    const long double A[3][3] = {{n, sg, 0.0L}, {sg, sgg, 0.0L}, {}};
+    const long double b[3] = {st, sgt, 0.0L};
+    if (solve_spd(A, b, 2, x)) {
+      c.c0 = x[0];
+      c.c2 = x[1];
+      solved = true;
+    }
+  }
+  if (!solved) c.c0 = static_cast<double>(st / n);
+  // Project into the feasible orthant: simulated times are sums of
+  // non-negative cost terms, so negative coefficients are always a
+  // modelling artefact (and would let predictions go negative).
+  c.c0 = std::max(c.c0, 0.0);
+  c.c1 = std::max(c.c1, 0.0);
+  c.c2 = std::max(c.c2, 0.0);
+  return c;
+}
+
+/// Damped Gauss-Newton on the log residuals: linearise
+/// r_i = log(c0 + c1 f_i + c2 g_i) - log t_i, solve the normal equations
+/// for the step (3x3 when the per-operation column is active, 2x2
+/// otherwise), halve the step until the cost decreases (at most 8
+/// halvings), project to the non-negative orthant. Fixed iteration and
+/// halving counts keep the refinement deterministic.
+void refine(std::span<const Observation> obs, std::span<const double> f,
+            std::span<const double> g, bool use_f, int iters, Candidate& c) {
+  c.cost = log_cost(obs, f, g, c.c0, c.c1, c.c2);
+  const int k = use_f ? 3 : 2;
+  for (int it = 0; it < iters; ++it) {
+    long double A[3][3] = {};
+    long double b[3] = {};
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      const double pred = std::max(c.c0 + c.c1 * f[i] + c.c2 * g[i], kTinyPred);
+      const double r = std::log(pred) - std::log(obs[i].t_ms);
+      double j[3];
+      j[0] = 1.0 / pred;
+      if (use_f) {
+        j[1] = f[i] / pred;
+        j[2] = g[i] / pred;
+      } else {
+        j[1] = g[i] / pred;
+        j[2] = 0.0;
+      }
+      for (int a = 0; a < k; ++a) {
+        for (int q = a; q < k; ++q) A[a][q] += static_cast<long double>(j[a]) * j[q];
+        b[a] += static_cast<long double>(j[a]) * r;
+      }
+    }
+    for (int a = 0; a < k; ++a) {
+      for (int q = 0; q < a; ++q) A[a][q] = A[q][a];
+    }
+    double d[3];
+    if (!solve_spd(A, b, k, d)) break;
+    const double d0 = d[0];
+    const double d1 = use_f ? d[1] : 0.0;
+    const double d2 = use_f ? d[2] : d[1];
+    bool improved = false;
+    double step = 1.0;
+    for (int half = 0; half < 8; ++half, step *= 0.5) {
+      const double n0 = std::max(c.c0 - step * d0, 0.0);
+      const double n1 = std::max(c.c1 - step * d1, 0.0);
+      const double n2 = std::max(c.c2 - step * d2, 0.0);
+      const double nc = log_cost(obs, f, g, n0, n1, n2);
+      if (nc < c.cost) {
+        c.c0 = n0;
+        c.c1 = n1;
+        c.c2 = n2;
+        c.cost = nc;
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+}  // namespace
+
+FittedModel fit_model(std::span<const Observation> obs, const FitOptions& opts) {
+  if (obs.empty()) throw std::invalid_argument("fit_model: no observations");
+  for (const Observation& o : obs) {
+    if (!(o.t_ms > 0.0)) {
+      throw std::invalid_argument("fit_model: non-positive observation time");
+    }
+  }
+
+  const auto& lattice = hypothesis_lattice();
+  FittedModel best;
+  best.score = std::numeric_limits<double>::infinity();
+  std::vector<double> f(obs.size());
+  std::vector<double> g(obs.size());
+  for (std::size_t h = 0; h < lattice.size(); ++h) {
+    const Hypothesis& hyp = lattice[h];
+    const bool use_f = hyp.has_op_term();
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      f[i] = proc_term_value(hyp.proc, obs[i].p);
+      g[i] = hyp.basis(obs[i].n, obs[i].p);
+    }
+    Candidate c = linear_seed(obs, f, g, use_f);
+    refine(obs, f, g, use_f, opts.refine_iters, c);
+    if (c.c1 == 0.0 && c.c2 == 0.0 && !(hyp == lattice.front())) {
+      continue;  // degenerated to a constant; the constant hypothesis owns that shape
+    }
+    const double mean_cost = c.cost / static_cast<double>(obs.size());
+    if (mean_cost < best.score) {  // strict: ties keep the earlier lattice entry
+      best.c0 = c.c0;
+      best.c1 = c.c1;
+      best.c2 = c.c2;
+      best.term = hyp;
+      best.score = mean_cost;
+    }
+  }
+  best.points = obs.size();
+  return best;
+}
+
+std::string to_json(const FittedModel& m) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"c0\":%.17g,\"c1\":%.17g,\"c2\":%.17g,\"n_exp\":%g,\"log_exp\":%d,"
+                "\"proc_term\":\"%s\",\"term\":\"%s\",\"mslr\":%.17g,\"points\":%zu}",
+                m.c0, m.c1, m.c2, m.term.n_exp, m.term.log_exp, to_string(m.term.proc),
+                m.term.to_string().c_str(), m.score, m.points);
+  return buf;
+}
+
+}  // namespace pdc::model

@@ -1,0 +1,127 @@
+// pdcmodel -- Extra-P-style analytic performance models fitted from sweep
+// measurements (ROADMAP item 3, DESIGN section 5 item 16).
+//
+// A fitted model has the collective normal form the Extra-P family of
+// tools converges on for message-passing codes -- a per-operation and a
+// per-size cost, both scaled by the algorithm's step count:
+//
+//     t(N, P) = c0 + (c1 + c2 * N^a * log2(N)^b) * f(P)
+//
+// with (a, b, f) drawn from a small hypothesis lattice (a in {0, 1/2, 1,
+// 3/2, 2}, b in {0, 1, 2}, f in {1, P, log2 P, P*log2 P, sqrt P}) and
+// (c0, c1, c2) fitted per hypothesis by deterministic least squares on
+// log-transformed residuals. c1 is active only when the hypothesis has
+// both a processor factor and a size factor -- otherwise its column is
+// collinear with c0 or with c2's (the classic alpha-beta form needs all
+// three shapes to be distinguishable). Everything here is a pure function of the
+// observation list: fixed-order accumulation, fixed iteration counts, no
+// randomness, no wall clock -- so a fit is bit-identical across runs,
+// machines with the same FP semantics, and any PDC_SWEEP_THREADS setting
+// used to *produce* the observations (the sweep layer already guarantees
+// the observations themselves are bit-identical).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdc::model {
+
+/// The processor-dependence factor f(P) of a hypothesis. CeilLogP is the
+/// staircase ceil(log2 P) -- the exact step count of hypercube-style
+/// collectives, which a smooth log2 P cannot track at non-power-of-two P.
+/// PMinus1 is the fan-out count of linear (daemon-relayed) collectives;
+/// plain P cannot express it because the non-negativity projection forbids
+/// the negative intercept P - 1 would otherwise demand.
+enum class ProcTerm : std::uint8_t { One = 0, P, PMinus1, LogP, CeilLogP, PLogP, SqrtP };
+
+[[nodiscard]] const char* to_string(ProcTerm f);
+
+/// f(P) with P clamped to >= 1; LogP uses log2(max(P, 2)) so a 1-rank
+/// evaluation never zeroes the term.
+[[nodiscard]] double proc_term_value(ProcTerm f, double p);
+
+/// One lattice point: the shape of the non-constant term.
+struct Hypothesis {
+  double n_exp{0.0};              ///< a: exponent on N
+  int log_exp{0};                 ///< b: exponent on log2(N)
+  ProcTerm proc{ProcTerm::One};   ///< f(P)
+
+  /// N^a * log2(N)^b * f(P), with N clamped to >= 1 for the power and
+  /// >= 2 inside the log (a 0-byte cell must not produce -inf).
+  [[nodiscard]] double basis(double n, double p) const;
+
+  /// The size factor alone: N^a * log2(N)^b (same clamping).
+  [[nodiscard]] double size_basis(double n) const;
+
+  /// true when the per-operation coefficient c1 has its own column: the
+  /// hypothesis carries a processor factor AND a non-trivial size factor.
+  [[nodiscard]] bool has_op_term() const {
+    return proc != ProcTerm::One && (n_exp != 0.0 || log_exp != 0);
+  }
+
+  /// Human form, e.g. "N^1.5 * log2(N) * P*log2(P)"; "1" for the
+  /// all-constant shape.
+  [[nodiscard]] std::string to_string() const;
+
+  /// The size factor as text, e.g. "N^1.5 * log2(N)"; "1" when trivial.
+  [[nodiscard]] std::string size_to_string() const;
+
+  friend bool operator==(const Hypothesis& a, const Hypothesis& b) {
+    return a.n_exp == b.n_exp && a.log_exp == b.log_exp && a.proc == b.proc;
+  }
+};
+
+/// The full lattice in its canonical order (the fit's tie-break order):
+/// proc-term-major, then n_exp, then log_exp, with the all-constant
+/// hypothesis first. 105 entries.
+[[nodiscard]] const std::vector<Hypothesis>& hypothesis_lattice();
+
+/// One measurement: simulated time `t_ms` of a primitive at problem size
+/// `n` (bytes or vector elements -- the caller picks one axis and sticks
+/// to it) on `p` processes.
+struct Observation {
+  double n{0.0};
+  double p{2.0};
+  double t_ms{0.0};
+};
+
+/// A fitted model: the selected hypothesis plus its coefficients.
+struct FittedModel {
+  double c0{0.0};
+  double c1{0.0};           ///< per-operation cost on f(P); 0 unless has_op_term()
+  double c2{0.0};           ///< per-size cost on size_basis(N) * f(P)
+  Hypothesis term{};
+  double score{0.0};        ///< mean squared log residual on the fit set
+  std::size_t points{0};    ///< observations fitted
+
+  /// c0 + c1 * f(p) + c2 * basis(n, p).
+  [[nodiscard]] double predict_ms(double n, double p) const;
+
+  /// "t(N,P) = 1.23e-01 + 4.56e-06 * N * log2(P)  [mslr 2.1e-05, 28 pts]"
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FitOptions {
+  int refine_iters{24};  ///< Gauss-Newton refinement steps per hypothesis
+};
+
+/// Fit the best lattice model to `obs` by iterative refinement:
+/// per hypothesis, seed the coefficients with the closed-form linear
+/// least-squares solution (3x3 normal equations when the per-operation
+/// column is active, 2x2 otherwise, with a deterministic fallback chain on
+/// singular systems), then run `refine_iters` damped Gauss-Newton steps
+/// minimising the sum of squared log residuals
+/// sum_i (log pred_i - log t_i)^2 with all coefficients projected to
+/// >= 0; select the hypothesis with the smallest mean squared log
+/// residual, ties broken by lattice order. Throws std::invalid_argument
+/// on an empty observation set or non-positive times (simulated durations
+/// are always > 0).
+[[nodiscard]] FittedModel fit_model(std::span<const Observation> obs,
+                                    const FitOptions& opts = {});
+
+/// Compact JSON form of a fitted model (an object; see DESIGN 5.16).
+[[nodiscard]] std::string to_json(const FittedModel& m);
+
+}  // namespace pdc::model

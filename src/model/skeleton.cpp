@@ -1,0 +1,214 @@
+#include "model/skeleton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pdc::model {
+
+struct Skeleton::Node {
+  enum class Kind {
+    Primitive, Constant, Serial, Pipeline, MapReduce, TaskPool, Overlap, Args, Scale
+  };
+  Kind kind{Kind::Constant};
+  std::string name;
+  FittedModel model{};
+  double value{0.0};  // Constant: ms; Scale: factor
+  std::vector<Skeleton> children;
+  int items{0};    // Pipeline items / MapReduce tasks
+  int workers{0};  // MapReduce / TaskPool workers
+  std::optional<double> n_override;
+  std::optional<double> p_override;
+};
+
+Skeleton Skeleton::primitive(std::string name, FittedModel m) {
+  Node n;
+  n.kind = Node::Kind::Primitive;
+  n.name = std::move(name);
+  n.model = m;
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::constant(std::string name, double ms) {
+  if (!(ms >= 0.0)) throw std::invalid_argument("Skeleton::constant: negative cost");
+  Node n;
+  n.kind = Node::Kind::Constant;
+  n.name = std::move(name);
+  n.value = ms;
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::serial(std::vector<Skeleton> parts) {
+  if (parts.empty()) throw std::invalid_argument("Skeleton::serial: no parts");
+  Node n;
+  n.kind = Node::Kind::Serial;
+  n.children = std::move(parts);
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::pipeline(std::vector<Skeleton> stages, int items) {
+  if (stages.empty()) throw std::invalid_argument("Skeleton::pipeline: no stages");
+  if (items < 1) throw std::invalid_argument("Skeleton::pipeline: items < 1");
+  Node n;
+  n.kind = Node::Kind::Pipeline;
+  n.children = std::move(stages);
+  n.items = items;
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::map_reduce(Skeleton task, int tasks, int workers, Skeleton reduce) {
+  if (tasks < 1) throw std::invalid_argument("Skeleton::map_reduce: tasks < 1");
+  if (workers < 1) throw std::invalid_argument("Skeleton::map_reduce: workers < 1");
+  Node n;
+  n.kind = Node::Kind::MapReduce;
+  n.children.push_back(std::move(task));
+  n.children.push_back(std::move(reduce));
+  n.items = tasks;
+  n.workers = workers;
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::task_pool(std::vector<Skeleton> tasks, int workers, Skeleton head) {
+  if (tasks.empty()) throw std::invalid_argument("Skeleton::task_pool: no tasks");
+  if (workers < 1) throw std::invalid_argument("Skeleton::task_pool: workers < 1");
+  Node n;
+  n.kind = Node::Kind::TaskPool;
+  n.children = std::move(tasks);
+  n.children.push_back(std::move(head));  // head stored last
+  n.workers = workers;
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::overlap(std::vector<Skeleton> parts) {
+  if (parts.empty()) throw std::invalid_argument("Skeleton::overlap: no parts");
+  Node n;
+  n.kind = Node::Kind::Overlap;
+  n.children = std::move(parts);
+  return Skeleton(std::make_shared<const Node>(std::move(n)));
+}
+
+Skeleton Skeleton::with_args(std::optional<double> n, std::optional<double> p) const {
+  Node node;
+  node.kind = Node::Kind::Args;
+  node.children.push_back(*this);
+  node.n_override = n;
+  node.p_override = p;
+  return Skeleton(std::make_shared<const Node>(std::move(node)));
+}
+
+Skeleton Skeleton::scaled(double factor) const {
+  if (!(factor >= 0.0)) throw std::invalid_argument("Skeleton::scaled: negative factor");
+  Node node;
+  node.kind = Node::Kind::Scale;
+  node.children.push_back(*this);
+  node.value = factor;
+  return Skeleton(std::make_shared<const Node>(std::move(node)));
+}
+
+double Skeleton::cost_ms(double n, double p) const {
+  const Node& nd = *node_;
+  switch (nd.kind) {
+    case Node::Kind::Primitive: return nd.model.predict_ms(n, p);
+    case Node::Kind::Constant: return nd.value;
+    case Node::Kind::Serial: {
+      double sum = 0.0;
+      for (const Skeleton& c : nd.children) sum += c.cost_ms(n, p);
+      return sum;
+    }
+    case Node::Kind::Pipeline: {
+      // Fill the pipe once, then the slowest stage gates every further
+      // item: sum(s_i) + (M-1) * max(s_i).
+      double sum = 0.0, slowest = 0.0;
+      for (const Skeleton& c : nd.children) {
+        const double s = c.cost_ms(n, p);
+        sum += s;
+        slowest = std::max(slowest, s);
+      }
+      return sum + static_cast<double>(nd.items - 1) * slowest;
+    }
+    case Node::Kind::MapReduce: {
+      const double task = nd.children[0].cost_ms(n, p);
+      const double reduce = nd.children[1].cost_ms(n, p);
+      const double waves =
+          std::ceil(static_cast<double>(nd.items) / static_cast<double>(nd.workers));
+      return waves * task + reduce;
+    }
+    case Node::Kind::TaskPool: {
+      // Greedy list scheduling: each task (in list order) starts on the
+      // earliest-available worker; the makespan is the critical path over
+      // the workers. The pool head serialises one `head` per task
+      // (dispatch + collect), flooring the makespan.
+      const std::size_t ntasks = nd.children.size() - 1;
+      const double head = nd.children.back().cost_ms(n, p);
+      std::vector<double> free_at(static_cast<std::size_t>(nd.workers), 0.0);
+      double makespan = 0.0;
+      for (std::size_t i = 0; i < ntasks; ++i) {
+        auto slot = std::min_element(free_at.begin(), free_at.end());
+        *slot += nd.children[i].cost_ms(n, p);
+        makespan = std::max(makespan, *slot);
+      }
+      return std::max(makespan, static_cast<double>(ntasks) * head);
+    }
+    case Node::Kind::Overlap: {
+      double slowest = 0.0;
+      for (const Skeleton& c : nd.children) slowest = std::max(slowest, c.cost_ms(n, p));
+      return slowest;
+    }
+    case Node::Kind::Args:
+      return nd.children[0].cost_ms(nd.n_override.value_or(n), nd.p_override.value_or(p));
+    case Node::Kind::Scale: return nd.value * nd.children[0].cost_ms(n, p);
+  }
+  return 0.0;
+}
+
+std::string Skeleton::describe() const {
+  const Node& nd = *node_;
+  auto join = [](const std::vector<Skeleton>& cs, std::size_t count) {
+    std::string s;
+    for (std::size_t i = 0; i < count; ++i) {
+      s += ' ';
+      s += cs[i].describe();
+    }
+    return s;
+  };
+  char buf[64];
+  switch (nd.kind) {
+    case Node::Kind::Primitive: return nd.name;
+    case Node::Kind::Constant:
+      std::snprintf(buf, sizeof buf, "(const %s %.3g)", nd.name.c_str(), nd.value);
+      return buf;
+    case Node::Kind::Serial:
+      return "(serial" + join(nd.children, nd.children.size()) + ")";
+    case Node::Kind::Pipeline:
+      std::snprintf(buf, sizeof buf, "(pipeline x%d", nd.items);
+      return buf + join(nd.children, nd.children.size()) + ")";
+    case Node::Kind::MapReduce:
+      std::snprintf(buf, sizeof buf, "(map-reduce %dx%d ", nd.items, nd.workers);
+      return buf + nd.children[0].describe() + " " + nd.children[1].describe() + ")";
+    case Node::Kind::TaskPool:
+      std::snprintf(buf, sizeof buf, "(task-pool w%d head=", nd.workers);
+      return buf + nd.children.back().describe() +
+             join(nd.children, nd.children.size() - 1) + ")";
+    case Node::Kind::Overlap:
+      return "(overlap" + join(nd.children, nd.children.size()) + ")";
+    case Node::Kind::Args: {
+      std::string s = "(at";
+      if (nd.n_override) {
+        std::snprintf(buf, sizeof buf, " n=%g", *nd.n_override);
+        s += buf;
+      }
+      if (nd.p_override) {
+        std::snprintf(buf, sizeof buf, " p=%g", *nd.p_override);
+        s += buf;
+      }
+      return s + " " + nd.children[0].describe() + ")";
+    }
+    case Node::Kind::Scale:
+      std::snprintf(buf, sizeof buf, "(scale %.3g ", nd.value);
+      return buf + nd.children[0].describe() + ")";
+  }
+  return "?";
+}
+
+}  // namespace pdc::model

@@ -1,0 +1,88 @@
+// pdcmodel -- nestable parallel-pattern skeletons whose cost composes
+// analytically from fitted primitive models (DESIGN section 5 item 16).
+//
+// A Skeleton is a cost-model tree. Leaves are fitted primitive models (or
+// constants); interior nodes are the classic algorithmic skeletons and
+// combine their children's costs with closed-form algebra:
+//
+//   serial(parts)                  sum of part costs
+//   pipeline(stages, M items)      fill + steady drain:
+//                                  sum(stage) + (M-1) * max(stage)
+//   map_reduce(task, M, W, reduce) list-scheduled map then reduce:
+//                                  ceil(M/W) * task + reduce
+//   task_pool(tasks, W, head)      greedy earliest-available-worker
+//                                  assignment in list order (the critical
+//                                  path over W workers), floored by the
+//                                  pool head serialising `head` per task:
+//                                  max(list makespan, |tasks| * head)
+//   overlap(parts)                 parts proceed concurrently on one rank
+//                                  (communication hidden behind compute
+//                                  when the tool sends in background):
+//                                  max of part costs
+//
+// Every node evaluates at the (n, p) the caller passes to cost_ms;
+// `with_args` pins a subtree to fixed arguments (a pipeline hop is a
+// 2-rank primitive no matter how many ranks the whole pattern spans) and
+// `scaled` multiplies a subtree's cost (one-way hop = round-trip / 2).
+// Skeletons nest freely: a pipeline stage can be a task pool whose tasks
+// are map-reduces. Evaluation is a pure fold over the tree -- same
+// determinism argument as the fitter.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace pdc::model {
+
+class Skeleton {
+ public:
+  /// Leaf: a fitted primitive model evaluated at the incoming (n, p).
+  [[nodiscard]] static Skeleton primitive(std::string name, FittedModel m);
+
+  /// Leaf: a fixed cost in milliseconds (calibrated constants, stubs).
+  [[nodiscard]] static Skeleton constant(std::string name, double ms);
+
+  /// Plain sequence: parts run one after another.
+  [[nodiscard]] static Skeleton serial(std::vector<Skeleton> parts);
+
+  /// `items` work items flow through `stages` concurrent stages.
+  [[nodiscard]] static Skeleton pipeline(std::vector<Skeleton> stages, int items);
+
+  /// `tasks` copies of `task` over `workers` workers, then `reduce` once.
+  [[nodiscard]] static Skeleton map_reduce(Skeleton task, int tasks, int workers,
+                                           Skeleton reduce);
+
+  /// Heterogeneous task list over `workers` workers with a serialising
+  /// pool head paying `head` per task (dispatch + collect).
+  [[nodiscard]] static Skeleton task_pool(std::vector<Skeleton> tasks, int workers,
+                                          Skeleton head);
+
+  /// Parts that proceed concurrently on the same rank (e.g. a background
+  /// send overlapping the next item's compute): cost = max of part costs.
+  [[nodiscard]] static Skeleton overlap(std::vector<Skeleton> parts);
+
+  /// Evaluate this subtree at fixed arguments instead of the incoming
+  /// ones (either may be left unset to inherit).
+  [[nodiscard]] Skeleton with_args(std::optional<double> n,
+                                   std::optional<double> p) const;
+
+  /// Multiply this subtree's cost by `factor`.
+  [[nodiscard]] Skeleton scaled(double factor) const;
+
+  /// Composed end-to-end cost at problem size `n` on `p` processes.
+  [[nodiscard]] double cost_ms(double n, double p) const;
+
+  /// S-expression form, e.g. "(pipeline x16 (scale 0.5 hop) ...)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Node;
+  explicit Skeleton(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace pdc::model

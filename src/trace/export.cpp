@@ -426,6 +426,16 @@ class Parser {
 
 }  // namespace
 
+bool validate_json(const std::string& json, std::string* error) {
+  JValue root;
+  Parser p(json);
+  if (!p.parse(root)) {
+    if (error != nullptr) *error = p.error();
+    return false;
+  }
+  return true;
+}
+
 ValidationResult validate_perfetto_json(const std::string& json) {
   ValidationResult res;
   JValue root;

@@ -41,4 +41,10 @@ struct ValidationResult {
 /// must pair: every "s" id has a matching "f".
 [[nodiscard]] ValidationResult validate_perfetto_json(const std::string& json);
 
+/// Syntax-only check with the same recursive-descent parser: true iff
+/// `json` is one well-formed JSON value with no trailing content. Shared
+/// by the pdceval/pdcmodel `--json` output tests, which only assert shape
+/// (their schemas are theirs to define).
+[[nodiscard]] bool validate_json(const std::string& json, std::string* error = nullptr);
+
 }  // namespace pdc::trace

@@ -449,6 +449,45 @@ TEST(CellArgs, RejectsNonNumericBytesAndProcs) {
   EXPECT_TRUE(tools::parse_cell_spec("p4:ethernet:sendrecv::", tpl, app, is_app));
 }
 
+TEST(CellArgs, RangeParsesSingleLinearAndGeometric) {
+  std::vector<std::int64_t> v;
+  EXPECT_TRUE(tools::parse_range("4096", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{4096}));
+  EXPECT_TRUE(tools::parse_range("0", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{0}));
+  EXPECT_TRUE(tools::parse_range("2..8x2", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{2, 4, 6, 8}));
+  EXPECT_TRUE(tools::parse_range("2..9x3", v));  // endpoint not hit: stop at <= hi
+  EXPECT_EQ(v, (std::vector<std::int64_t>{2, 5, 8}));
+  EXPECT_TRUE(tools::parse_range("5..5x1", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{5}));
+  EXPECT_TRUE(tools::parse_range("256..4096*4", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{256, 1024, 4096}));
+  EXPECT_TRUE(tools::parse_range("3..100*10", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{3, 30}));
+}
+
+TEST(CellArgs, RangeRejectsMalformedAndOverflowing) {
+  const std::vector<std::int64_t> sentinel{77};
+  std::vector<std::int64_t> v = sentinel;
+  for (const char* bad :
+       {"", "x", "abc", "-1", "1..8", "1..8y2", "1..8x", "1..8*", "1..8x0", "1..8*1",
+        "0..8*2", "8..1x1", "-1..8x1", "1..8x-2", "1..abcx2", "1..8x2junk", " 1..8x2",
+        "1..9223372036854775808x1", "1..200000x1"}) {
+    EXPECT_FALSE(tools::parse_range(bad, v)) << bad;
+    EXPECT_EQ(v, sentinel) << bad;  // out is untouched on failure
+  }
+}
+
+TEST(CellArgs, RangeWalkStopsBeforeInt64Overflow) {
+  std::vector<std::int64_t> v;
+  // lo * step would overflow int64; the walk must stop, not wrap.
+  EXPECT_TRUE(tools::parse_range("4611686018427387904..9223372036854775807*2", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{4611686018427387904}));
+  EXPECT_TRUE(tools::parse_range("9223372036854775800..9223372036854775807x4", v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{9223372036854775800, 9223372036854775804}));
+}
+
 // -- end-to-end caching -----------------------------------------------------
 
 TEST(Evald, CachedResultsAreBitIdenticalForEveryCellKind) {

@@ -51,6 +51,39 @@ TEST(Sweep, LowestFailingIndexExceptionWins) {
   }
 }
 
+TEST(Sweep, NonUniformNonPowerOfTwoGridIsBitIdenticalAcrossThreads) {
+  // The performance-model training grids are deliberately irregular:
+  // non-power-of-two sizes and odd process counts, different axes per
+  // primitive. The sweep must stay element-for-element bit-identical to
+  // the serial walk on those too -- the fitted models inherit their
+  // determinism from exactly this guarantee.
+  std::vector<TplCell> cells;
+  for (std::int64_t bytes : {768LL, 1536LL, 3072LL, 6144LL, 12288LL}) {
+    for (int procs : {2, 3, 5, 6, 7, 12}) {
+      cells.push_back({Primitive::Broadcast, PlatformId::ClusterFatTree,
+                       ToolKind::Express, bytes, procs, 0});
+      cells.push_back({Primitive::GlobalSum, PlatformId::ClusterDragonfly,
+                       ToolKind::P4, 0, procs, bytes / 4});
+    }
+    cells.push_back({Primitive::SendRecv, PlatformId::ClusterFlat, ToolKind::Pvm,
+                     bytes, 2, 0});
+  }
+  const auto serial = sweep_tpl_ms(cells, 1);
+  ASSERT_EQ(serial.size(), cells.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].has_value()) << i;
+    EXPECT_GT(*serial[i], 0.0) << i;
+  }
+  for (unsigned threads : {2u, 3u, 8u}) {
+    const auto parallel = sweep_tpl_ms(cells, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical, not merely close.
+      EXPECT_EQ(*parallel[i], *serial[i]) << "cell " << i << ", " << threads << " threads";
+    }
+  }
+}
+
 TEST(Sweep, TplGridParallelMatchesSerialElementForElement) {
   // A slice of the Table 3 / Figure 2 grid: every primitive family, the
   // PVM global-sum hole included.

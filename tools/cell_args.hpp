@@ -79,6 +79,57 @@ inline constexpr const char* kPlatformNames =
   return ec == std::errc{} && ptr == s.data() + s.size();
 }
 
+/// Sweep ranges for bytes / procs / ints axes:
+///
+///   "4096"          one value
+///   "2..8x2"        linear:    2, 4, 6, 8         (step 2)
+///   "256..4096*4"   geometric: 256, 1024, 4096    (factor 4)
+///
+/// Endpoints are inclusive; the walk stops at the last value <= hi. Every
+/// number is a strict full-string std::from_chars parse, and the range is
+/// rejected (false, `out` untouched) when lo > hi, the step is < 1, the
+/// factor is < 2, a geometric range starts at 0, the walk would overflow
+/// int64, or the expansion exceeds kMaxRangeValues elements -- a typo'd
+/// "1..1000000000x1" should be a usage error, not a 8 GB vector.
+inline constexpr std::size_t kMaxRangeValues = 1 << 16;
+
+[[nodiscard]] inline bool parse_range(const std::string& s, std::vector<std::int64_t>& out) {
+  const std::size_t dots = s.find("..");
+  std::int64_t lo = 0;
+  if (dots == std::string::npos) {
+    if (!parse_number(s, lo) || lo < 0) return false;
+    out.assign(1, lo);
+    return true;
+  }
+  const std::string head = s.substr(0, dots);
+  const std::string tail = s.substr(dots + 2);
+  const std::size_t sep = tail.find_first_of("x*");
+  if (sep == std::string::npos) return false;
+  const bool geometric = tail[sep] == '*';
+  std::int64_t hi = 0;
+  std::int64_t step = 0;
+  if (!parse_number(head, lo) || !parse_number(tail.substr(0, sep), hi) ||
+      !parse_number(tail.substr(sep + 1), step)) {
+    return false;
+  }
+  if (lo < 0 || lo > hi) return false;
+  if (geometric ? (step < 2 || lo == 0) : step < 1) return false;
+  std::vector<std::int64_t> vals;
+  for (std::int64_t v = lo; v <= hi;) {
+    if (vals.size() >= kMaxRangeValues) return false;
+    vals.push_back(v);
+    if (geometric) {
+      if (v > hi / step) break;  // next value would pass hi (or overflow)
+      v *= step;
+    } else {
+      if (step > hi - v) break;
+      v += step;
+    }
+  }
+  out = std::move(vals);
+  return true;
+}
+
 /// tool:platform:primitive-or-app:bytes:procs ("p4:ethernet:sendrecv:1:2").
 /// Empty trailing fields keep whatever defaults the cells carry in.
 /// The tool/platform/procs fields land in BOTH cells so the caller can

@@ -8,6 +8,12 @@
 //   pdceval --invalidate --cell p4:ethernet:sendrecv:1:2
 //   pdceval --invalidate-all
 //
+// --bytes / --procs / --ints also take sweep ranges ("256..16384*2"
+// geometric, "2..8x2" linear); more than one resulting cell turns the
+// lookup into one batched sweep frame, and `--warm grid` execute-and-
+// caches the same cross-product. --json prints every mode's answer as a
+// JSON value for scripting (same schema pdcmodel consumes).
+//
 // Every answer is printed with its origin -- cache, computed, or
 // negative-cache -- so scripts (and the CI smoke job) can assert that a
 // repeated sweep is served from memory rather than re-simulated.
@@ -34,12 +40,16 @@ using pdc::evald::Origin;
                "  --platform %s\n"
                "  --primitive sendrecv|broadcast|ring|globalsum   (TPL cell)\n"
                "  --app jpeg|fft|mc|psrs                          (APL cell)\n"
-               "  --bytes N --procs N --ints N\n"
+               "  --bytes R --procs R --ints R\n"
+               "      R = N, N0..N1xSTEP (linear) or N0..N1*K (geometric);\n"
+               "      >1 resulting cell runs as one batched sweep\n"
                "  --drop R --corrupt R --dup R --seed S           fault plan\n"
                "  --cell T:P:W:B:N         compact cell spec\n"
                "  --sched                  scheduling cell, with pdcsched flags\n"
                "    --nodes N --jobs N --rate R --users N --policy backfill|fifo --aging P\n"
                "  --warm table3            execute-and-cache the Table 3 grid\n"
+               "  --warm grid              execute-and-cache the --bytes/--procs/--ints grid\n"
+               "  --json                   print answers as JSON (cells, sweeps, stats)\n"
                "  --stats                  print daemon counters\n"
                "  --invalidate             drop the selected cell from the store\n"
                "  --invalidate-all         drop the whole store\n"
@@ -95,6 +105,98 @@ void print_outcome(const CellSpec& spec, const pdc::evald::Client::Outcome& out)
   }
 }
 
+// -- JSON output (--json) ----------------------------------------------------
+//
+// All names and enum strings here are shell-safe tokens, so no escaping is
+// needed; the shape is validated by trace::validate_json in the tests.
+
+std::string spec_json(const pdc::eval::CellSpec& spec) {
+  char buf[256];
+  switch (spec.type) {
+    case pdc::eval::CellType::Tpl:
+      std::snprintf(buf, sizeof buf,
+                    "{\"type\":\"tpl\",\"tool\":\"%s\",\"platform\":\"%s\","
+                    "\"primitive\":\"%s\",\"bytes\":%lld,\"procs\":%d,\"ints\":%lld}",
+                    pdc::mp::to_string(spec.tpl.tool), pdc::host::to_string(spec.tpl.platform),
+                    pdc::eval::to_string(spec.tpl.primitive),
+                    static_cast<long long>(spec.tpl.bytes), spec.tpl.procs,
+                    static_cast<long long>(spec.tpl.global_sum_ints));
+      break;
+    case pdc::eval::CellType::App:
+      std::snprintf(buf, sizeof buf,
+                    "{\"type\":\"app\",\"tool\":\"%s\",\"platform\":\"%s\","
+                    "\"app\":\"%s\",\"procs\":%d}",
+                    pdc::mp::to_string(spec.app.tool), pdc::host::to_string(spec.app.platform),
+                    pdc::eval::to_string(spec.app.app), spec.app.procs);
+      break;
+    case pdc::eval::CellType::Sched:
+      std::snprintf(buf, sizeof buf,
+                    "{\"type\":\"sched\",\"platform\":\"%s\",\"nodes\":%d,\"jobs\":%d}",
+                    pdc::host::to_string(spec.sched.platform), spec.sched.nodes,
+                    spec.sched.njobs);
+      break;
+  }
+  return buf;
+}
+
+std::string outcome_json(const pdc::eval::CellSpec& spec,
+                         const pdc::evald::Client::Outcome& out) {
+  std::string s = "{\"spec\":" + spec_json(spec) + ",\"origin\":\"";
+  s += origin_name(out.origin);
+  s += "\",\"status\":\"";
+  const pdc::eval::CellResult& r = out.result;
+  char buf[160];
+  switch (r.status) {
+    case CellStatus::Error: return s + "error\"}";
+    case CellStatus::Unsupported: return s + "unsupported\"}";
+    case CellStatus::Ok: break;
+  }
+  s += "ok\",";
+  switch (spec.type) {
+    case pdc::eval::CellType::Tpl:
+      std::snprintf(buf, sizeof buf, "\"ms\":%.17g}", r.tpl_ms);
+      break;
+    case pdc::eval::CellType::App:
+      std::snprintf(buf, sizeof buf, "\"s\":%.17g}", r.app_s);
+      break;
+    case pdc::eval::CellType::Sched:
+      std::snprintf(buf, sizeof buf,
+                    "\"completed\":%d,\"rejected\":%d,\"makespan_ms\":%.17g,"
+                    "\"utilization\":%.17g}",
+                    r.sched.schedule.completed, r.sched.schedule.rejected,
+                    r.sched.schedule.makespan.millis(), r.sched.schedule.utilization);
+      break;
+  }
+  return s + buf;
+}
+
+std::string stats_json(const pdc::evald::DaemonStats& s) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"model_version\":%llu,\"entries\":%llu,\"negative_entries\":%llu,"
+      "\"hits\":%llu,\"negative_hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
+      "\"invalidated\":%llu,\"log_bytes\":%llu,\"recovered\":%llu,\"requests\":%llu,"
+      "\"cells_served\":%llu,\"cells_computed\":%llu,\"connections\":%llu,"
+      "\"frame_errors\":%llu}",
+      static_cast<unsigned long long>(s.model_version),
+      static_cast<unsigned long long>(s.entries),
+      static_cast<unsigned long long>(s.negative_entries),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.negative_hits),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.inserts),
+      static_cast<unsigned long long>(s.invalidated),
+      static_cast<unsigned long long>(s.log_bytes),
+      static_cast<unsigned long long>(s.recovered),
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.cells_served),
+      static_cast<unsigned long long>(s.cells_computed),
+      static_cast<unsigned long long>(s.connections),
+      static_cast<unsigned long long>(s.frame_errors));
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +218,10 @@ int main(int argc, char** argv) {
   double drop = 0.0, corrupt = 0.0, duplicate = 0.0;
   std::uint64_t seed = 0xFA17;
   bool have_seed = false;
+  bool json = false;
+  std::vector<std::int64_t> bytes_range{tpl.bytes};
+  std::vector<std::int64_t> procs_range{tpl.procs};
+  std::vector<std::int64_t> ints_range{tpl.global_sum_ints};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,19 +244,47 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--primitive") { ok = pdc::tools::parse_primitive(value(), tpl.primitive); is_app = false; have_cell = true; }
     else if (arg == "--app") { ok = pdc::tools::parse_app(value(), app.app); is_app = true; have_cell = true; }
-    else if (arg == "--bytes") { tpl.bytes = std::atoll(value().c_str()); have_cell = true; }
-    else if (arg == "--procs") { tpl.procs = std::atoi(value().c_str()); app.procs = tpl.procs; have_cell = true; }
-    else if (arg == "--ints") { tpl.global_sum_ints = std::atoll(value().c_str()); have_cell = true; }
+    else if (arg == "--bytes") { ok = pdc::tools::parse_range(value(), bytes_range); have_cell = true; }
+    else if (arg == "--procs") {
+      ok = pdc::tools::parse_range(value(), procs_range);
+      for (std::int64_t p : procs_range) {
+        ok = ok && p > 0 && p <= std::numeric_limits<int>::max();
+      }
+      have_cell = true;
+    }
+    else if (arg == "--ints") { ok = pdc::tools::parse_range(value(), ints_range); have_cell = true; }
     else if (arg == "--drop") drop = std::atof(value().c_str());
     else if (arg == "--corrupt") corrupt = std::atof(value().c_str());
     else if (arg == "--dup") duplicate = std::atof(value().c_str());
     else if (arg == "--seed") { seed = std::strtoull(value().c_str(), nullptr, 0); have_seed = true; }
-    else if (arg == "--cell") { ok = pdc::tools::parse_cell_spec(value(), tpl, app, is_app); have_cell = true; }
+    else if (arg == "--cell") {
+      ok = pdc::tools::parse_cell_spec(value(), tpl, app, is_app);
+      if (ok) {
+        // The compact spec carries single values; reset the range axes so
+        // they take effect (a later --bytes/--procs/--ints still overrides).
+        bytes_range = {tpl.bytes};
+        procs_range = {tpl.procs};
+        ints_range = {tpl.global_sum_ints};
+      }
+      have_cell = true;
+    }
     else if (arg == "--sched") { is_sched = true; have_cell = true; }
-    else if (arg == "--nodes") sched.nodes = std::atoi(value().c_str());
-    else if (arg == "--jobs") sched.njobs = std::atoi(value().c_str());
+    else if (arg == "--nodes") {
+      std::int64_t v = 0;
+      ok = pdc::tools::parse_number(value(), v) && v > 0 && v <= std::numeric_limits<int>::max();
+      if (ok) sched.nodes = static_cast<int>(v);
+    }
+    else if (arg == "--jobs") {
+      std::int64_t v = 0;
+      ok = pdc::tools::parse_number(value(), v) && v > 0 && v <= std::numeric_limits<int>::max();
+      if (ok) sched.njobs = static_cast<int>(v);
+    }
     else if (arg == "--rate") sched.arrival_rate_hz = std::atof(value().c_str());
-    else if (arg == "--users") sched.users = std::atoi(value().c_str());
+    else if (arg == "--users") {
+      std::int64_t v = 0;
+      ok = pdc::tools::parse_number(value(), v) && v > 0 && v <= std::numeric_limits<int>::max();
+      if (ok) sched.users = static_cast<int>(v);
+    }
     else if (arg == "--policy") {
       const std::string p = value();
       if (p == "backfill") sched.policy.backfill = true;
@@ -159,6 +293,7 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--aging") sched.policy.aging_per_sec = std::atoll(value().c_str());
     else if (arg == "--warm") warm_sweep = value();
+    else if (arg == "--json") json = true;
     else if (arg == "--stats") do_stats = true;
     else if (arg == "--invalidate") do_invalidate = true;
     else if (arg == "--invalidate-all") do_invalidate_all = true;
@@ -186,9 +321,28 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
-  CellSpec spec = is_sched ? CellSpec::of(sched)
-                : is_app   ? CellSpec::of(app)
-                           : CellSpec::of(tpl);
+  // Cross-product of the range axes, in axis-major order (bytes, then
+  // ints, then procs) so sweep output order is reproducible.
+  std::vector<CellSpec> specs;
+  if (is_sched) {
+    specs.push_back(CellSpec::of(sched));
+  } else if (is_app) {
+    for (std::int64_t p : procs_range) {
+      app.procs = static_cast<int>(p);
+      specs.push_back(CellSpec::of(app));
+    }
+  } else {
+    for (std::int64_t b : bytes_range) {
+      for (std::int64_t n : ints_range) {
+        for (std::int64_t p : procs_range) {
+          tpl.bytes = b;
+          tpl.global_sum_ints = n;
+          tpl.procs = static_cast<int>(p);
+          specs.push_back(CellSpec::of(tpl));
+        }
+      }
+    }
+  }
 
   try {
     pdc::evald::Client client(server);
@@ -203,25 +357,37 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (do_invalidate) {
-      if (!have_cell) {
-        std::fprintf(stderr, "pdceval: --invalidate needs a cell spec\n");
+      if (!have_cell || specs.size() != 1) {
+        std::fprintf(stderr, "pdceval: --invalidate needs exactly one cell spec\n");
         usage(2);
       }
-      std::printf(client.invalidate(spec) ? "invalidated\n" : "not cached\n");
+      std::printf(client.invalidate(specs[0]) ? "invalidated\n" : "not cached\n");
       return 0;
     }
     if (!warm_sweep.empty()) {
-      if (warm_sweep != "table3") {
-        std::fprintf(stderr, "pdceval: unknown sweep %s (try table3)\n", warm_sweep.c_str());
+      if (warm_sweep != "table3" && warm_sweep != "grid") {
+        std::fprintf(stderr, "pdceval: unknown sweep %s (try table3 or grid)\n",
+                     warm_sweep.c_str());
         usage(2);
       }
-      const std::vector<CellSpec> grid = pdc::eval::table3_grid();
+      if (warm_sweep == "grid" && !have_cell) {
+        std::fprintf(stderr, "pdceval: --warm grid needs cell flags with ranges\n");
+        usage(2);
+      }
+      const std::vector<CellSpec> grid =
+          warm_sweep == "table3" ? pdc::eval::table3_grid() : specs;
       const std::vector<Origin> origins = client.warm(grid);
       std::size_t cached = 0, computed = 0, negative = 0;
       for (const Origin o : origins) {
         if (o == Origin::Computed) ++computed;
         else if (o == Origin::NegativeCache) ++negative;
         else ++cached;
+      }
+      if (json) {
+        std::printf("{\"warm\":\"%s\",\"cells\":%zu,\"cached\":%zu,"
+                    "\"negative_cached\":%zu,\"computed\":%zu}\n",
+                    warm_sweep.c_str(), origins.size(), cached, negative, computed);
+        return 0;
       }
       std::printf("warm %s: %zu cells, %zu cached, %zu negative-cached, %zu computed "
                   "(%.1f%% served from cache)\n",
@@ -233,6 +399,10 @@ int main(int argc, char** argv) {
     }
     if (do_stats) {
       const pdc::evald::DaemonStats s = client.stats();
+      if (json) {
+        std::printf("%s\n", stats_json(s).c_str());
+        return 0;
+      }
       std::printf("model version  %llu\n", static_cast<unsigned long long>(s.model_version));
       std::printf("entries        %llu (%llu negative)\n",
                   static_cast<unsigned long long>(s.entries),
@@ -257,7 +427,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pdceval: nothing to do (give a cell, --warm, --stats or --ping)\n");
       usage(2);
     }
-    print_outcome(spec, client.lookup(spec));
+    if (specs.size() == 1) {
+      const auto out = client.lookup(specs[0]);
+      if (json) std::printf("%s\n", outcome_json(specs[0], out).c_str());
+      else print_outcome(specs[0], out);
+    } else {
+      const std::vector<pdc::evald::Client::Outcome> outs = client.sweep(specs);
+      if (json) {
+        std::string doc = "[";
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+          if (i > 0) doc += ',';
+          doc += outcome_json(specs[i], outs[i]);
+        }
+        doc += "]";
+        std::printf("%s\n", doc.c_str());
+      } else {
+        for (std::size_t i = 0; i < outs.size(); ++i) print_outcome(specs[i], outs[i]);
+      }
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pdceval: %s\n", e.what());
     return 1;
